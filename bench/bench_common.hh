@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses. Each
+ * bench binary regenerates one table or figure of the paper's
+ * evaluation (Section V); this header centralizes program
+ * construction and the baseline / DC-MBQC compilation calls so
+ * every experiment uses identical settings (Section V-A defaults).
+ */
+
+#ifndef DCMBQC_BENCH_COMMON_HH
+#define DCMBQC_BENCH_COMMON_HH
+
+#include <string>
+
+#include "circuit/circuit.hh"
+#include "circuit/generators.hh"
+#include "common/logging.hh"
+#include "core/pipeline.hh"
+#include "mbqc/dependency.hh"
+#include "mbqc/pattern_builder.hh"
+#include "photonic/grid.hh"
+
+namespace dcmbqc::bench
+{
+
+/** Benchmark program families of Table II. */
+enum class Family { Vqe, Qaoa, Qft, Rca };
+
+inline const char *
+familyName(Family family)
+{
+    switch (family) {
+      case Family::Vqe: return "VQE";
+      case Family::Qaoa: return "QAOA";
+      case Family::Qft: return "QFT";
+      case Family::Rca: return "RCA";
+    }
+    return "?";
+}
+
+/** Build the benchmark circuit for a family / qubit count. */
+inline Circuit
+makeProgram(Family family, int qubits)
+{
+    switch (family) {
+      case Family::Vqe: return makeVqe(qubits);
+      case Family::Qaoa: return makeQaoaMaxcut(qubits, 7);
+      case Family::Qft: return makeQft(qubits);
+      case Family::Rca: return makeRippleCarryAdder(qubits);
+    }
+    fatal("unknown family");
+}
+
+/** A program translated to its MBQC computation graph. */
+struct Prepared
+{
+    std::string name;
+    int qubits = 0;
+    int gridSize = 0;
+    std::size_t twoQubitGates = 0;
+    Pattern pattern;
+    Digraph deps;
+};
+
+inline Prepared
+prepare(Family family, int qubits)
+{
+    Prepared p;
+    const Circuit circuit = makeProgram(family, qubits);
+    p.name = std::string(familyName(family)) + "-" +
+        std::to_string(qubits);
+    p.qubits = qubits;
+    p.gridSize = gridSizeForQubits(qubits);
+    p.twoQubitGates = circuit.numTwoQubitGates();
+    p.pattern = buildPattern(circuit);
+    p.deps = realTimeDependencyGraph(p.pattern);
+    return p;
+}
+
+/** Paper defaults (Section V-A). */
+inline DcMbqcConfig
+paperConfig(int qpus, int grid_size,
+            ResourceStateType type = ResourceStateType::Star5)
+{
+    DcMbqcConfig config;
+    config.numQpus = qpus;
+    config.grid.size = grid_size;
+    config.grid.resourceState = type;
+    config.kmax = 4;
+    config.partition.epsilonQ = 0.01;
+    config.partition.gamma = 1.02;
+    config.partition.alphaMax = 1.5;
+    config.bdir.initialTemperature = 10.0;
+    config.bdir.coolingRate = 0.95;
+    config.bdir.maxIterations = 20;
+    return config;
+}
+
+inline SingleQpuConfig
+baselineConfig(int grid_size,
+               ResourceStateType type = ResourceStateType::Star5)
+{
+    SingleQpuConfig config;
+    config.grid.size = grid_size;
+    config.grid.resourceState = type;
+    return config;
+}
+
+/** One baseline-vs-DC comparison row. */
+struct ComparisonRow
+{
+    std::string program;
+    int baselineExec = 0;
+    int dcExec = 0;
+    int baselineLifetime = 0;
+    int dcLifetime = 0;
+
+    double execFactor() const
+    {
+        return dcExec > 0
+            ? static_cast<double>(baselineExec) / dcExec : 0.0;
+    }
+    double lifetimeFactor() const
+    {
+        return dcLifetime > 0
+            ? static_cast<double>(baselineLifetime) / dcLifetime : 0.0;
+    }
+};
+
+inline ComparisonRow
+compareOnce(const Prepared &p, int qpus,
+            ResourceStateType type = ResourceStateType::Star5)
+{
+    ComparisonRow row;
+    row.program = p.name;
+    const auto baseline = compileBaseline(
+        p.pattern.graph(), p.deps, baselineConfig(p.gridSize, type));
+    row.baselineExec = baseline.executionTime();
+    row.baselineLifetime = baseline.requiredLifetime();
+
+    DcMbqcCompiler compiler(paperConfig(qpus, p.gridSize, type));
+    const auto dc = compiler.compile(p.pattern.graph(), p.deps);
+    row.dcExec = dc.executionTime();
+    row.dcLifetime = dc.requiredLifetime();
+    return row;
+}
+
+} // namespace dcmbqc::bench
+
+#endif // DCMBQC_BENCH_COMMON_HH

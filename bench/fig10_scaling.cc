@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 10 reproduction: compilation-runtime scaling on QFT
+ * programs up to 100 qubits (common pre-processing excluded, i.e.
+ * the pattern/dependency construction is done once outside the
+ * timed region). Compares the monolithic baseline against DC-MBQC
+ * (Core, list scheduling only) and DC-MBQC (Core + BDIR).
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace dcmbqc;
+using namespace dcmbqc::bench;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable table({"Qubits", "Baseline (s)", "DC Core (s)",
+                     "DC Core+BDIR (s)"});
+
+    for (int qubits : {20, 40, 60, 80, 100}) {
+        const auto p = prepare(Family::Qft, qubits);
+
+        const auto t0 = Clock::now();
+        const auto baseline = compileBaseline(
+            p.pattern.graph(), p.deps, baselineConfig(p.gridSize));
+        const auto t1 = Clock::now();
+
+        auto core_config = paperConfig(8, p.gridSize);
+        core_config.useBdir = false;
+        const auto core = DcMbqcCompiler(core_config)
+                              .compile(p.pattern.graph(), p.deps);
+        const auto t2 = Clock::now();
+
+        auto full_config = paperConfig(8, p.gridSize);
+        const auto full = DcMbqcCompiler(full_config)
+                              .compile(p.pattern.graph(), p.deps);
+        const auto t3 = Clock::now();
+
+        // Keep the compilers' outputs alive so the timed work is
+        // not optimized away.
+        (void)baseline.executionTime();
+        (void)core.executionTime();
+        (void)full.executionTime();
+
+        table.row()
+            .cell(qubits)
+            .cell(seconds(t0, t1), 4)
+            .cell(seconds(t1, t2), 4)
+            .cell(seconds(t2, t3), 4);
+    }
+    std::printf("%s",
+                table
+                    .render("Figure 10: compilation runtime scaling "
+                            "(QFT, 8 QPUs)")
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 1 reproduction: photon loss probability as a function of
+ * storage duration (system clock cycles) for 1 / 10 / 100 ns cycle
+ * periods, with the fusion-failure reference line of [27] and the
+ * 5% / 5000-cycle OneQ assumption.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "photonic/loss_model.hh"
+
+using namespace dcmbqc;
+
+int
+main()
+{
+    TextTable table({"cycles", "100 ns/cycle", "10 ns/cycle",
+                     "1 ns/cycle"});
+    const LossModel slow{0.2, 100.0};
+    const LossModel mid{0.2, 10.0};
+    const LossModel fast{0.2, 1.0};
+
+    for (int cycles = 500; cycles <= 5000; cycles += 500) {
+        table.row()
+            .cell(cycles)
+            .cell(slow.lossProbability(cycles), 4)
+            .cell(mid.lossProbability(cycles), 4)
+            .cell(fast.lossProbability(cycles), 4);
+    }
+    std::printf("%s",
+                table
+                    .render("Figure 1: photon loss probability vs "
+                            "storage cycles (alpha = 0.2 dB/km, 2/3 c)")
+                    .c_str());
+
+    std::printf("\nReference points:\n");
+    std::printf("  fusion failure rate [27]          : %.2f\n",
+                experimentalFusionFailureRate);
+    std::printf("  loss @5000 cycles, 1 ns/cycle     : %.3f "
+                "(paper: ~5%%)\n",
+                fast.lossProbability(5000));
+    std::printf("  loss @5000 cycles, 10 ns/cycle    : %.3f "
+                "(paper: 36.9%%)\n",
+                mid.lossProbability(5000));
+    std::printf("  loss @5000 cycles, 100 ns/cycle   : %.3f "
+                "(paper: ~99.9%%)\n",
+                slow.lossProbability(5000));
+    std::printf("  max cycles for 5%% loss @1 ns     : %.0f "
+                "(paper: ~5000)\n",
+                fast.maxCyclesForLossBudget(0.05));
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 7 reproduction: improvement factors of DC-MBQC over the
+ * baseline on 36-qubit QAOA / VQE / QFT / RCA with 4 QPUs, for each
+ * of the four resource states of Figure 4a. Both sides of every
+ * comparison use the same resource state, matching the paper's
+ * f = tau_OneQ / tau_DC-MBQC definition.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace dcmbqc;
+using namespace dcmbqc::bench;
+
+int
+main()
+{
+    TextTable exec_table(
+        {"Program", "4-ring", "5-star", "6-ring", "7-star"});
+    TextTable life_table(
+        {"Program", "4-ring", "5-star", "6-ring", "7-star"});
+
+    for (Family family :
+         {Family::Qaoa, Family::Vqe, Family::Qft, Family::Rca}) {
+        const auto p = prepare(family, 36);
+        exec_table.row().cell(p.name);
+        life_table.row().cell(p.name);
+        for (auto type : allResourceStateTypes) {
+            const auto row = compareOnce(p, 4, type);
+            exec_table.cell(row.execFactor(), 2);
+            life_table.cell(row.lifetimeFactor(), 2);
+        }
+    }
+    std::printf("%s\n",
+                exec_table
+                    .render("Figure 7a: execution-time improvement "
+                            "factor by resource state (4 QPUs)")
+                    .c_str());
+    std::printf("%s",
+                life_table
+                    .render("Figure 7b: required-lifetime improvement "
+                            "factor by resource state (4 QPUs)")
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 8 reproduction: sensitivity to the connection capacity
+ * Kmax on 25- and 36-qubit QFT with 4 QPUs. The paper observes
+ * diminishing returns with the elbow around Kmax = 4..7.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace dcmbqc;
+using namespace dcmbqc::bench;
+
+int
+main()
+{
+    TextTable table({"Kmax", "Exec 25q", "Lifetime 25q", "Exec 36q",
+                     "Lifetime 36q"});
+
+    const auto p25 = prepare(Family::Qft, 25);
+    const auto p36 = prepare(Family::Qft, 36);
+    const auto base25 = compileBaseline(p25.pattern.graph(), p25.deps,
+                                        baselineConfig(p25.gridSize));
+    const auto base36 = compileBaseline(p36.pattern.graph(), p36.deps,
+                                        baselineConfig(p36.gridSize));
+
+    for (int kmax : {1, 2, 4, 6, 8, 12, 16}) {
+        auto config25 = paperConfig(4, p25.gridSize);
+        config25.kmax = kmax;
+        const auto dc25 =
+            DcMbqcCompiler(config25).compile(p25.pattern.graph(),
+                                             p25.deps);
+        auto config36 = paperConfig(4, p36.gridSize);
+        config36.kmax = kmax;
+        const auto dc36 =
+            DcMbqcCompiler(config36).compile(p36.pattern.graph(),
+                                             p36.deps);
+
+        table.row()
+            .cell(kmax)
+            .cell(static_cast<double>(base25.executionTime()) /
+                      dc25.executionTime(),
+                  2)
+            .cell(static_cast<double>(base25.requiredLifetime()) /
+                      dc25.requiredLifetime(),
+                  2)
+            .cell(static_cast<double>(base36.executionTime()) /
+                      dc36.executionTime(),
+                  2)
+            .cell(static_cast<double>(base36.requiredLifetime()) /
+                      dc36.requiredLifetime(),
+                  2);
+    }
+    std::printf("%s",
+                table
+                    .render("Figure 8: improvement factor vs "
+                            "connection capacity Kmax (QFT, 4 QPUs)")
+                    .c_str());
+    return 0;
+}

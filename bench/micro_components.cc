@@ -1,0 +1,133 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the framework's core
+ * kernels: multilevel partitioning, adaptive partitioning
+ * (Algorithm 2), single-QPU placement, required-lifetime evaluation
+ * (Algorithm 1), list scheduling and one BDIR neighborhood step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "core/bdir.hh"
+#include "core/list_scheduler.hh"
+#include "partition/multilevel.hh"
+
+using namespace dcmbqc;
+using namespace dcmbqc::bench;
+
+namespace
+{
+
+const Prepared &
+qft36()
+{
+    static const Prepared p = prepare(Family::Qft, 36);
+    return p;
+}
+
+void
+BM_MultilevelPartition(benchmark::State &state)
+{
+    const auto &p = qft36();
+    MultilevelConfig config;
+    config.k = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto part =
+            MultilevelPartitioner(config).partition(p.pattern.graph());
+        benchmark::DoNotOptimize(part);
+    }
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_AdaptivePartition(benchmark::State &state)
+{
+    const auto &p = qft36();
+    AdaptiveConfig config;
+    config.k = 4;
+    for (auto _ : state) {
+        auto result = adaptivePartition(p.pattern.graph(), config);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_AdaptivePartition);
+
+void
+BM_SingleQpuPlacement(benchmark::State &state)
+{
+    const auto &p = qft36();
+    const SingleQpuCompiler compiler(baselineConfig(p.gridSize));
+    for (auto _ : state) {
+        auto schedule = compiler.compile(p.pattern.graph(), p.deps);
+        benchmark::DoNotOptimize(schedule);
+    }
+}
+BENCHMARK(BM_SingleQpuPlacement);
+
+void
+BM_LifetimeEvaluation(benchmark::State &state)
+{
+    const auto &p = qft36();
+    const auto baseline = compileBaseline(p.pattern.graph(), p.deps,
+                                          baselineConfig(p.gridSize));
+    std::vector<TimeSlot> node_time(p.pattern.numNodes());
+    for (NodeId u = 0; u < p.pattern.numNodes(); ++u)
+        node_time[u] = baseline.schedule.nodePhysicalTime(u);
+    for (auto _ : state) {
+        auto breakdown =
+            computeLifetime(p.pattern.graph(), p.deps, node_time);
+        benchmark::DoNotOptimize(breakdown);
+    }
+}
+BENCHMARK(BM_LifetimeEvaluation);
+
+struct LspFixture
+{
+    DcMbqcCompiler compiler;
+    LayerSchedulingProblem lsp;
+
+    LspFixture()
+        : compiler(paperConfig(4, qft36().gridSize)),
+          lsp(buildOnce())
+    {
+    }
+
+    LayerSchedulingProblem
+    buildOnce()
+    {
+        const auto &p = qft36();
+        DcMbqcCompiler local(paperConfig(4, p.gridSize));
+        const auto adaptive = adaptivePartition(
+            p.pattern.graph(), local.config().partition);
+        return local.buildLsp(p.pattern.graph(), p.deps,
+                              adaptive.best);
+    }
+};
+
+void
+BM_ListScheduling(benchmark::State &state)
+{
+    static const LspFixture fixture;
+    for (auto _ : state) {
+        auto schedule = listScheduleDefault(fixture.lsp);
+        benchmark::DoNotOptimize(schedule);
+    }
+}
+BENCHMARK(BM_ListScheduling);
+
+void
+BM_BdirNeighborStep(benchmark::State &state)
+{
+    static const LspFixture fixture;
+    static const Schedule initial = listScheduleDefault(fixture.lsp);
+    for (auto _ : state) {
+        auto next = generateNeighbor(fixture.lsp, initial);
+        benchmark::DoNotOptimize(next);
+    }
+}
+BENCHMARK(BM_BdirNeighborStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table II reproduction: benchmark program statistics -- qubits,
+ * spatial grid size, two-qubit gate count, and fusion count (edges
+ * of the computation graph plus the routing fusions measured by the
+ * baseline compiler).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace dcmbqc;
+using namespace dcmbqc::bench;
+
+int
+main()
+{
+    TextTable table({"Program", "#Qubits", "Grid size", "#2Q gates",
+                     "#Graph edges", "#Fusions"});
+
+    const std::pair<Family, std::vector<int>> suite[] = {
+        {Family::Vqe, {16, 36, 81, 144}},
+        {Family::Qaoa, {16, 64, 121, 196}},
+        {Family::Qft, {16, 36, 81, 100}},
+        {Family::Rca, {16, 36, 81}},
+    };
+
+    for (const auto &[family, sizes] : suite) {
+        for (int qubits : sizes) {
+            const auto p = prepare(family, qubits);
+            const auto baseline = compileBaseline(
+                p.pattern.graph(), p.deps, baselineConfig(p.gridSize));
+            table.row()
+                .cell(p.name)
+                .cell(p.qubits)
+                .cell(std::to_string(p.gridSize) + "x" +
+                      std::to_string(p.gridSize))
+                .cell(p.twoQubitGates)
+                .cell(static_cast<long long>(
+                    p.pattern.graph().numEdges()))
+                .cell(baseline.schedule.totalFusions());
+        }
+    }
+    std::printf("%s",
+                table.render("Table II: benchmark programs").c_str());
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table III reproduction: DC-MBQC vs the OneQ-style monolithic
+ * baseline with 4 QPUs and the 5-star resource state, on the full
+ * benchmark suite. Reports execution time, required photon lifetime
+ * and the improvement factors.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace dcmbqc;
+using namespace dcmbqc::bench;
+
+int
+main()
+{
+    TextTable table({"Program", "Base Exec", "Our Exec", "Improv.",
+                     "Base Lifetime", "Our Lifetime", "Improv."});
+
+    const std::pair<Family, std::vector<int>> suite[] = {
+        {Family::Vqe, {16, 36, 81, 144}},
+        {Family::Qaoa, {16, 64, 121, 196}},
+        {Family::Qft, {16, 36, 81, 100}},
+        {Family::Rca, {16, 36, 81}},
+    };
+
+    for (const auto &[family, sizes] : suite) {
+        for (int qubits : sizes) {
+            const auto p = prepare(family, qubits);
+            const auto row =
+                compareOnce(p, 4, ResourceStateType::Star5);
+            table.row()
+                .cell(row.program)
+                .cell(row.baselineExec)
+                .cell(row.dcExec)
+                .cell(row.execFactor(), 2)
+                .cell(row.baselineLifetime)
+                .cell(row.dcLifetime)
+                .cell(row.lifetimeFactor(), 2);
+        }
+    }
+    std::printf(
+        "%s",
+        table.render("Table III: DC-MBQC vs baseline, 4 QPUs, 5-star")
+            .c_str());
+    return 0;
+}

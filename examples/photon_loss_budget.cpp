@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Example: photon-loss budgeting. Connects the compilation metric
+ * (required photon lifetime, Section III) to the physical failure
+ * model (Figure 1): for each benchmark, how slow may the resource
+ * state generation clock be before the *worst-stored* photon's loss
+ * probability exceeds the experimentally observed fusion failure
+ * rate? Distributed compilation relaxes this hardware requirement.
+ */
+
+#include <cstdio>
+
+#include "circuit/generators.hh"
+#include "core/pipeline.hh"
+#include "mbqc/dependency.hh"
+#include "mbqc/pattern_builder.hh"
+#include "photonic/grid.hh"
+#include "photonic/loss_model.hh"
+
+using namespace dcmbqc;
+
+namespace
+{
+
+/** Max cycle period (ns) keeping loss(lifetime) <= budget. */
+double
+maxCyclePeriodNs(int lifetime_cycles, double budget)
+{
+    // Loss depends on lifetime * period; invert at 1 ns and scale.
+    LossModel unit{0.2, 1.0};
+    const double max_cycles = unit.maxCyclesForLossBudget(budget);
+    return max_cycles / lifetime_cycles;
+}
+
+void
+report(const char *name, const Pattern &pattern, const Digraph &deps,
+       int grid)
+{
+    SingleQpuConfig base_config;
+    base_config.grid.size = grid;
+    const auto baseline =
+        compileBaseline(pattern.graph(), deps, base_config);
+
+    DcMbqcConfig config;
+    config.numQpus = 8;
+    config.grid.size = grid;
+    config.grid.resourceState = ResourceStateType::Ring4;
+    const auto dc =
+        DcMbqcCompiler(config).compile(pattern.graph(), deps);
+
+    const double budget = experimentalFusionFailureRate;
+    std::printf("%-8s lifetime %5d -> %5d cycles | max clock period "
+                "%6.2f -> %6.2f ns (loss <= fusion failure %.0f%%)\n",
+                name, baseline.requiredLifetime(),
+                dc.requiredLifetime(),
+                maxCyclePeriodNs(baseline.requiredLifetime(), budget),
+                maxCyclePeriodNs(dc.requiredLifetime(), budget),
+                100 * budget);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("How slow may the RSG clock be? (baseline -> 8 QPUs "
+                "DC-MBQC)\n\n");
+    for (int qubits : {16, 36}) {
+        {
+            const auto c = makeVqe(qubits);
+            const auto pattern = buildPattern(c);
+            report(c.name().c_str(), pattern,
+                   realTimeDependencyGraph(pattern),
+                   gridSizeForQubits(qubits));
+        }
+        {
+            const auto c = makeRippleCarryAdder(qubits);
+            const auto pattern = buildPattern(c);
+            report(c.name().c_str(), pattern,
+                   realTimeDependencyGraph(pattern),
+                   gridSizeForQubits(qubits));
+        }
+    }
+    std::printf("\nInterpretation: a k-fold reduction in required "
+                "photon lifetime allows a k-fold slower resource "
+                "state generation clock at equal loss risk "
+                "(Figure 1 model: loss = 1 - exp(-alpha L)).\n");
+    return 0;
+}

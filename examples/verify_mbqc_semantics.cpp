@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Example: end-to-end verification that the MBQC front-end is
+ * semantically exact. For each benchmark family the example builds
+ * the measurement pattern, executes it with adaptive measurements
+ * (random outcomes, flow byproduct corrections) on the state-vector
+ * simulator, and compares against the circuit unitary. It also
+ * verifies graph-state stabilizers of the compiled pattern on the
+ * Aaronson-Gottesman tableau simulator -- scalable to thousands of
+ * photons.
+ */
+
+#include <cstdio>
+
+#include "circuit/generators.hh"
+#include "common/rng.hh"
+#include "mbqc/pattern_builder.hh"
+#include "sim/pattern_runner.hh"
+#include "sim/stabilizer.hh"
+#include "sim/statevector.hh"
+
+using namespace dcmbqc;
+
+namespace
+{
+
+void
+checkCircuit(const Circuit &circuit)
+{
+    const Pattern pattern = buildPattern(circuit);
+
+    StateVector reference(circuit.numQubits(), /*plus_basis=*/true);
+    reference.applyCircuit(circuit);
+
+    Rng rng(99);
+    double min_fidelity = 1.0;
+    int peak_width = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto run = runPattern(pattern, rng);
+        min_fidelity = std::min(
+            min_fidelity,
+            StateVector::fidelity(run.outputState, reference));
+        peak_width = std::max(peak_width, run.peakWidth);
+    }
+    std::printf("  %-8s %5d photons, %5d edges, sim width %2d, "
+                "min fidelity %.12f\n",
+                circuit.name().c_str(), pattern.numNodes(),
+                pattern.graph().numEdges(), peak_width,
+                min_fidelity);
+}
+
+void
+checkStabilizersAtScale()
+{
+    // The full graph state of RCA-16 has hundreds of photons --
+    // far beyond state-vector reach, easy for the tableau.
+    const Pattern pattern = buildPattern(makeRippleCarryAdder(16));
+    const auto &g = pattern.graph();
+    StabilizerSim sim(g.numNodes());
+    sim.prepareGraphState(g);
+
+    int verified = 0;
+    for (NodeId i = 0; i < g.numNodes(); ++i)
+        verified +=
+            sim.isStabilizer(StabilizerSim::graphStabilizer(g, i));
+    std::printf("\ngraph-state stabilizer check (RCA-16): %d / %d "
+                "generators verified on %d photons\n",
+                verified, g.numNodes(), g.numNodes());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("pattern == circuit (adaptive measurements, random "
+                "outcomes):\n");
+    checkCircuit(makeQft(4));
+    checkCircuit(makeQaoaMaxcut(5, 11));
+    checkCircuit(makeVqe(4));
+    checkCircuit(makeRippleCarryAdder(6));
+    checkStabilizersAtScale();
+    return 0;
+}

@@ -1,0 +1,139 @@
+#include "circuit/circuit.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+int
+Gate::arity() const
+{
+    switch (kind) {
+      case GateKind::CZ:
+      case GateKind::CNOT:
+      case GateKind::CP:
+      case GateKind::RZZ:
+      case GateKind::SWAP:
+        return 2;
+      case GateKind::CCX:
+        return 3;
+      default:
+        return 1;
+    }
+}
+
+const char *
+gateKindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::H: return "h";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::T: return "t";
+      case GateKind::Tdg: return "tdg";
+      case GateKind::RX: return "rx";
+      case GateKind::RY: return "ry";
+      case GateKind::RZ: return "rz";
+      case GateKind::CZ: return "cz";
+      case GateKind::CNOT: return "cnot";
+      case GateKind::CP: return "cp";
+      case GateKind::RZZ: return "rzz";
+      case GateKind::SWAP: return "swap";
+      case GateKind::CCX: return "ccx";
+    }
+    return "?";
+}
+
+std::string
+Gate::toString() const
+{
+    std::ostringstream oss;
+    oss << gateKindName(kind) << " q" << q0;
+    if (arity() >= 2)
+        oss << ", q" << q1;
+    if (arity() >= 3)
+        oss << ", q" << q2;
+    if (kind == GateKind::RX || kind == GateKind::RY ||
+        kind == GateKind::RZ || kind == GateKind::CP ||
+        kind == GateKind::RZZ) {
+        oss << " (" << angle << ")";
+    }
+    return oss.str();
+}
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : numQubits_(num_qubits), name_(std::move(name))
+{
+    DCMBQC_ASSERT(num_qubits >= 1, "circuit needs at least one qubit");
+}
+
+void
+Circuit::append(const Gate &gate)
+{
+    auto check = [&](QubitId q) {
+        DCMBQC_ASSERT(q >= 0 && q < numQubits_,
+                      "gate qubit out of range: ", q);
+    };
+    check(gate.q0);
+    if (gate.arity() >= 2) {
+        check(gate.q1);
+        DCMBQC_ASSERT(gate.q0 != gate.q1, "2q gate on equal qubits");
+    }
+    if (gate.arity() >= 3) {
+        check(gate.q2);
+        DCMBQC_ASSERT(gate.q2 != gate.q0 && gate.q2 != gate.q1,
+                      "3q gate with repeated qubits");
+    }
+    gates_.push_back(gate);
+}
+
+std::size_t
+Circuit::numTwoQubitGates() const
+{
+    std::size_t count = 0;
+    for (const auto &g : gates_)
+        if (g.isMultiQubit())
+            ++count;
+    return count;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> level(numQubits_, 0);
+    int depth = 0;
+    for (const auto &g : gates_) {
+        int start = level[g.q0];
+        if (g.arity() >= 2)
+            start = std::max(start, level[g.q1]);
+        if (g.arity() >= 3)
+            start = std::max(start, level[g.q2]);
+        const int end = start + 1;
+        level[g.q0] = end;
+        if (g.arity() >= 2)
+            level[g.q1] = end;
+        if (g.arity() >= 3)
+            level[g.q2] = end;
+        depth = std::max(depth, end);
+    }
+    return depth;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream oss;
+    oss << name_ << " (" << numQubits_ << " qubits, " << gates_.size()
+        << " gates)\n";
+    for (const auto &g : gates_)
+        oss << "  " << g.toString() << "\n";
+    return oss.str();
+}
+
+} // namespace dcmbqc

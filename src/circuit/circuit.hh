@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Quantum circuit container with convenience builder methods and the
+ * gate-count statistics reported in Table II of the paper.
+ */
+
+#ifndef DCMBQC_CIRCUIT_CIRCUIT_HH
+#define DCMBQC_CIRCUIT_CIRCUIT_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hh"
+#include "common/types.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * An ordered list of gates over a fixed number of qubits.
+ */
+class Circuit
+{
+  public:
+    /** Construct an empty circuit on the given number of qubits. */
+    explicit Circuit(int num_qubits, std::string name = "circuit");
+
+    int numQubits() const { return numQubits_; }
+    const std::string &name() const { return name_; }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::size_t numGates() const { return gates_.size(); }
+
+    /** Number of gates acting on two or more qubits (Table II). */
+    std::size_t numTwoQubitGates() const;
+
+    /** Circuit depth assuming gates on disjoint qubits commute. */
+    int depth() const;
+
+    /** Append an arbitrary gate (qubits validated). */
+    void append(const Gate &gate);
+
+    // Builder helpers -----------------------------------------------------
+    void h(QubitId q) { append({GateKind::H, q}); }
+    void x(QubitId q) { append({GateKind::X, q}); }
+    void y(QubitId q) { append({GateKind::Y, q}); }
+    void z(QubitId q) { append({GateKind::Z, q}); }
+    void s(QubitId q) { append({GateKind::S, q}); }
+    void sdg(QubitId q) { append({GateKind::Sdg, q}); }
+    void t(QubitId q) { append({GateKind::T, q}); }
+    void tdg(QubitId q) { append({GateKind::Tdg, q}); }
+    void rx(QubitId q, double theta)
+    {
+        append({GateKind::RX, q, -1, -1, theta});
+    }
+    void ry(QubitId q, double theta)
+    {
+        append({GateKind::RY, q, -1, -1, theta});
+    }
+    void rz(QubitId q, double theta)
+    {
+        append({GateKind::RZ, q, -1, -1, theta});
+    }
+    void cz(QubitId a, QubitId b) { append({GateKind::CZ, a, b}); }
+    void cnot(QubitId control, QubitId target)
+    {
+        append({GateKind::CNOT, control, target});
+    }
+    void cp(QubitId a, QubitId b, double theta)
+    {
+        append({GateKind::CP, a, b, -1, theta});
+    }
+    void rzz(QubitId a, QubitId b, double theta)
+    {
+        append({GateKind::RZZ, a, b, -1, theta});
+    }
+    void swap(QubitId a, QubitId b) { append({GateKind::SWAP, a, b}); }
+    void ccx(QubitId c0, QubitId c1, QubitId target)
+    {
+        append({GateKind::CCX, c0, c1, target});
+    }
+
+    /** Multi-line textual dump (for debugging / examples). */
+    std::string toString() const;
+
+  private:
+    int numQubits_;
+    std::string name_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_CIRCUIT_CIRCUIT_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quantum gate description for the circuit IR. The benchmark
+ * generators emit these gates; the transpiler lowers them to the
+ * {CZ, J(alpha)} basis used by the MBQC pattern builder.
+ */
+
+#ifndef DCMBQC_CIRCUIT_GATE_HH
+#define DCMBQC_CIRCUIT_GATE_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace dcmbqc
+{
+
+/** Supported gate kinds. */
+enum class GateKind
+{
+    H,
+    X,
+    Y,
+    Z,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    RX,
+    RY,
+    RZ,
+    CZ,
+    CNOT,
+    CP,   ///< controlled phase diag(1,1,1,e^{i theta})
+    RZZ,  ///< exp(-i theta/2 Z(x)Z), the QAOA cost interaction
+    SWAP,
+    CCX,  ///< Toffoli
+};
+
+/** A gate applied to one, two or three qubits. */
+struct Gate
+{
+    GateKind kind;
+    QubitId q0 = -1;
+    QubitId q1 = -1;
+    QubitId q2 = -1;
+    double angle = 0.0;
+
+    /** Number of qubits this gate acts on. */
+    int arity() const;
+
+    /** True for gates acting on two or more qubits. */
+    bool isMultiQubit() const { return arity() >= 2; }
+
+    /** Human-readable mnemonic, e.g. "cnot q3, q4". */
+    std::string toString() const;
+};
+
+/** Mnemonic of a gate kind. */
+const char *gateKindName(GateKind kind);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_CIRCUIT_GATE_HH

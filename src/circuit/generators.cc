@@ -1,0 +1,164 @@
+#include "circuit/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+constexpr double pi = 3.14159265358979323846;
+} // namespace
+
+Circuit
+makeQft(int num_qubits)
+{
+    Circuit c(num_qubits, "qft-" + std::to_string(num_qubits));
+    for (QubitId i = 0; i < num_qubits; ++i) {
+        c.h(i);
+        for (QubitId j = i + 1; j < num_qubits; ++j) {
+            const double theta = pi / std::pow(2.0, j - i);
+            c.cp(j, i, theta);
+        }
+    }
+    return c;
+}
+
+Circuit
+makeQaoaMaxcut(int num_qubits, std::uint64_t seed)
+{
+    Circuit c(num_qubits, "qaoa-" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    // All qubit pairs; keep a uniformly random half as problem edges.
+    std::vector<std::pair<QubitId, QubitId>> pairs;
+    for (QubitId i = 0; i < num_qubits; ++i)
+        for (QubitId j = i + 1; j < num_qubits; ++j)
+            pairs.emplace_back(i, j);
+    rng.shuffle(pairs);
+    pairs.resize(pairs.size() / 2);
+    // The edge SET is random; the gate ORDER is a compiler choice.
+    // Lexicographic order retires each control wire after its block,
+    // keeping the resulting graph state temporally local.
+    std::sort(pairs.begin(), pairs.end());
+
+    const double gamma = 0.2 + 0.6 * rng.uniform();
+    const double beta = 0.1 + 0.5 * rng.uniform();
+
+    for (QubitId q = 0; q < num_qubits; ++q)
+        c.h(q);
+    for (const auto &[i, j] : pairs)
+        c.rzz(i, j, 2.0 * gamma);
+    for (QubitId q = 0; q < num_qubits; ++q)
+        c.rx(q, 2.0 * beta);
+    return c;
+}
+
+Circuit
+makeVqe(int num_qubits, int layers, std::uint64_t seed)
+{
+    Circuit c(num_qubits, "vqe-" + std::to_string(num_qubits));
+    Rng rng(seed);
+    for (int layer = 0; layer < layers; ++layer) {
+        for (QubitId q = 0; q < num_qubits; ++q) {
+            c.ry(q, 2.0 * pi * rng.uniform());
+            c.rz(q, 2.0 * pi * rng.uniform());
+        }
+        // Fully entangled layer: CNOT between every qubit pair.
+        for (QubitId i = 0; i < num_qubits; ++i)
+            for (QubitId j = i + 1; j < num_qubits; ++j)
+                c.cnot(i, j);
+    }
+    for (QubitId q = 0; q < num_qubits; ++q)
+        c.ry(q, 2.0 * pi * rng.uniform());
+    return c;
+}
+
+namespace
+{
+
+/**
+ * MAJ block of the Cuccaro adder (CDKM [18]) on (carry, b, a):
+ * leaves the carry-out on the a wire.
+ */
+void
+maj(Circuit &c, QubitId carry, QubitId b, QubitId a)
+{
+    c.cnot(a, b);
+    c.cnot(a, carry);
+    c.ccx(carry, b, a);
+}
+
+/** UMA (2-CNOT variant): restores a/carry, leaves the sum on b. */
+void
+uma(Circuit &c, QubitId carry, QubitId b, QubitId a)
+{
+    c.ccx(carry, b, a);
+    c.cnot(a, carry);
+    c.cnot(carry, b);
+}
+
+} // namespace
+
+Circuit
+makeRippleCarryAdder(int num_qubits)
+{
+    DCMBQC_ASSERT(num_qubits >= 4, "RCA needs at least 4 qubits");
+    const int width = (num_qubits - 2) / 2;
+    Circuit c(num_qubits, "rca-" + std::to_string(num_qubits));
+
+    // Layout: cin, a0, b0, a1, b1, ..., cout. After the circuit the
+    // b wires hold the sum bits and cout the carry out.
+    const QubitId cin = 0;
+    auto a = [&](int i) { return static_cast<QubitId>(1 + 2 * i); };
+    auto b = [&](int i) { return static_cast<QubitId>(2 + 2 * i); };
+    const QubitId cout = static_cast<QubitId>(2 * width + 1);
+
+    maj(c, cin, b(0), a(0));
+    for (int i = 1; i < width; ++i)
+        maj(c, a(i - 1), b(i), a(i));
+    c.cnot(a(width - 1), cout);
+    for (int i = width - 1; i >= 1; --i)
+        uma(c, a(i - 1), b(i), a(i));
+    uma(c, cin, b(0), a(0));
+    return c;
+}
+
+Circuit
+makeRandomCircuit(int num_qubits, int num_gates, std::uint64_t seed)
+{
+    Circuit c(num_qubits, "random-" + std::to_string(num_qubits));
+    Rng rng(seed);
+    for (int i = 0; i < num_gates; ++i) {
+        const int choice = static_cast<int>(rng.uniformInt(8));
+        const QubitId q0 =
+            static_cast<QubitId>(rng.uniformInt(num_qubits));
+        QubitId q1 = q0;
+        if (num_qubits > 1)
+            while (q1 == q0)
+                q1 = static_cast<QubitId>(rng.uniformInt(num_qubits));
+        const double theta = 2.0 * pi * rng.uniform();
+        switch (choice) {
+          case 0: c.h(q0); break;
+          case 1: c.rz(q0, theta); break;
+          case 2: c.rx(q0, theta); break;
+          case 3: c.t(q0); break;
+          case 4: c.s(q0); break;
+          case 5:
+            if (num_qubits > 1) c.cz(q0, q1); else c.h(q0);
+            break;
+          case 6:
+            if (num_qubits > 1) c.cnot(q0, q1); else c.x(q0);
+            break;
+          default: c.ry(q0, theta); break;
+        }
+    }
+    return c;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Benchmark circuit generators for the four program families the
+ * paper evaluates (Section V-A, Table II): QFT [16], QAOA Max-Cut on
+ * random graphs [21], VQE with the hardware-efficient fully
+ * entangled ansatz [31], and the Cuccaro ripple-carry adder [18].
+ */
+
+#ifndef DCMBQC_CIRCUIT_GENERATORS_HH
+#define DCMBQC_CIRCUIT_GENERATORS_HH
+
+#include <cstdint>
+
+#include "circuit/circuit.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Quantum Fourier Transform on n qubits: H plus controlled-phase
+ * ladder; n(n-1)/2 two-qubit gates (final swaps omitted, matching
+ * the Table II gate counts).
+ */
+Circuit makeQft(int num_qubits);
+
+/**
+ * QAOA Max-Cut circuit (p = 1). The problem graph selects half of
+ * all qubit pairs uniformly at random (paper Section V-A); each edge
+ * contributes one RZZ cost interaction, followed by the RX mixer.
+ *
+ * @param seed Instance seed (problem graph and angles).
+ */
+Circuit makeQaoaMaxcut(int num_qubits, std::uint64_t seed = 7);
+
+/**
+ * VQE hardware-efficient ansatz with fully entangled layers: RY+RZ
+ * rotations on every qubit, then a CNOT between every qubit pair
+ * (quadratic 2-qubit gate count, as the paper notes).
+ *
+ * @param layers Number of rotation+entanglement layers.
+ * @param seed Seed for the variational angles.
+ */
+Circuit makeVqe(int num_qubits, int layers = 1, std::uint64_t seed = 11);
+
+/**
+ * Cuccaro ripple-carry adder. Operand width is chosen so total qubit
+ * count (2 operands + carry-in + carry-out) fits num_qubits:
+ * width = (num_qubits - 2) / 2. Toffolis are decomposed into the
+ * standard 6-CNOT Clifford+T network.
+ */
+Circuit makeRippleCarryAdder(int num_qubits);
+
+/** A uniformly random circuit over a small gate set, for testing. */
+Circuit makeRandomCircuit(int num_qubits, int num_gates,
+                          std::uint64_t seed);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_CIRCUIT_GENERATORS_HH

@@ -1,0 +1,174 @@
+#include "circuit/transpile.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+constexpr double pi = 3.14159265358979323846;
+
+Gate
+basic(GateKind kind, QubitId q, double angle = 0.0)
+{
+    return {kind, q, -1, -1, angle};
+}
+
+Gate
+basic2(GateKind kind, QubitId a, QubitId b)
+{
+    return {kind, a, b, -1, 0.0};
+}
+
+void
+emitCnot(std::vector<Gate> &out, QubitId control, QubitId target)
+{
+    out.push_back(basic(GateKind::H, target));
+    out.push_back(basic2(GateKind::CZ, control, target));
+    out.push_back(basic(GateKind::H, target));
+}
+
+} // namespace
+
+std::vector<Gate>
+lowerGate(const Gate &gate)
+{
+    std::vector<Gate> out;
+    switch (gate.kind) {
+      case GateKind::H:
+      case GateKind::RZ:
+      case GateKind::RX:
+      case GateKind::CZ:
+        out.push_back(gate);
+        break;
+      case GateKind::X:
+        out.push_back(basic(GateKind::RX, gate.q0, pi));
+        break;
+      case GateKind::Z:
+        out.push_back(basic(GateKind::RZ, gate.q0, pi));
+        break;
+      case GateKind::Y:
+        // Y = i X Z; global phase dropped.
+        out.push_back(basic(GateKind::RZ, gate.q0, pi));
+        out.push_back(basic(GateKind::RX, gate.q0, pi));
+        break;
+      case GateKind::S:
+        out.push_back(basic(GateKind::RZ, gate.q0, pi / 2));
+        break;
+      case GateKind::Sdg:
+        out.push_back(basic(GateKind::RZ, gate.q0, -pi / 2));
+        break;
+      case GateKind::T:
+        out.push_back(basic(GateKind::RZ, gate.q0, pi / 4));
+        break;
+      case GateKind::Tdg:
+        out.push_back(basic(GateKind::RZ, gate.q0, -pi / 4));
+        break;
+      case GateKind::RY:
+        // Ry(t) = Rz(pi/2) Rx(t) Rz(-pi/2), time order right-to-left.
+        out.push_back(basic(GateKind::RZ, gate.q0, -pi / 2));
+        out.push_back(basic(GateKind::RX, gate.q0, gate.angle));
+        out.push_back(basic(GateKind::RZ, gate.q0, pi / 2));
+        break;
+      case GateKind::CNOT:
+        emitCnot(out, gate.q0, gate.q1);
+        break;
+      case GateKind::CP:
+        // diag(1,1,1,e^{i t}) up to global phase.
+        out.push_back(basic(GateKind::RZ, gate.q0, gate.angle / 2));
+        out.push_back(basic(GateKind::RZ, gate.q1, gate.angle / 2));
+        emitCnot(out, gate.q0, gate.q1);
+        out.push_back(basic(GateKind::RZ, gate.q1, -gate.angle / 2));
+        emitCnot(out, gate.q0, gate.q1);
+        break;
+      case GateKind::RZZ:
+        // exp(-i t/2 Z(x)Z) = CNOT . Rz_t(t) . CNOT.
+        emitCnot(out, gate.q0, gate.q1);
+        out.push_back(basic(GateKind::RZ, gate.q1, gate.angle));
+        emitCnot(out, gate.q0, gate.q1);
+        break;
+      case GateKind::SWAP:
+        emitCnot(out, gate.q0, gate.q1);
+        emitCnot(out, gate.q1, gate.q0);
+        emitCnot(out, gate.q0, gate.q1);
+        break;
+      case GateKind::CCX: {
+        // Standard 6-CNOT Clifford+T decomposition.
+        const QubitId a = gate.q0, b = gate.q1, t = gate.q2;
+        out.push_back(basic(GateKind::H, t));
+        emitCnot(out, b, t);
+        out.push_back(basic(GateKind::RZ, t, -pi / 4));
+        emitCnot(out, a, t);
+        out.push_back(basic(GateKind::RZ, t, pi / 4));
+        emitCnot(out, b, t);
+        out.push_back(basic(GateKind::RZ, t, -pi / 4));
+        emitCnot(out, a, t);
+        out.push_back(basic(GateKind::RZ, b, pi / 4));
+        out.push_back(basic(GateKind::RZ, t, pi / 4));
+        out.push_back(basic(GateKind::H, t));
+        emitCnot(out, a, b);
+        out.push_back(basic(GateKind::RZ, a, pi / 4));
+        out.push_back(basic(GateKind::RZ, b, -pi / 4));
+        emitCnot(out, a, b);
+        break;
+      }
+    }
+    return out;
+}
+
+std::size_t
+JCircuit::numJ() const
+{
+    std::size_t count = 0;
+    for (const auto &op : ops)
+        if (op.kind == JOp::Kind::J)
+            ++count;
+    return count;
+}
+
+std::size_t
+JCircuit::numCz() const
+{
+    return ops.size() - numJ();
+}
+
+JCircuit
+transpileToJCz(const Circuit &circuit)
+{
+    JCircuit out;
+    out.numQubits = circuit.numQubits();
+
+    auto emit_basic = [&](const Gate &g) {
+        switch (g.kind) {
+          case GateKind::H:
+            out.ops.push_back(JOp::j(g.q0, 0.0));
+            break;
+          case GateKind::RZ:
+            // Rz(t) = J(0) J(t): apply J(t) first, then J(0).
+            out.ops.push_back(JOp::j(g.q0, g.angle));
+            out.ops.push_back(JOp::j(g.q0, 0.0));
+            break;
+          case GateKind::RX:
+            // Rx(t) = J(t) J(0): apply J(0) first, then J(t).
+            out.ops.push_back(JOp::j(g.q0, 0.0));
+            out.ops.push_back(JOp::j(g.q0, g.angle));
+            break;
+          case GateKind::CZ:
+            out.ops.push_back(JOp::cz(g.q0, g.q1));
+            break;
+          default:
+            panic("emit_basic: non-basic gate ", gateKindName(g.kind));
+        }
+    };
+
+    for (const auto &gate : circuit.gates())
+        for (const auto &g : lowerGate(gate))
+            emit_basic(g);
+    return out;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,47 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcmbqc
+{
+
+namespace
+{
+bool verboseEnabled = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled = verbose;
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panicImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (verboseEnabled)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace dcmbqc

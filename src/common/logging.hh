@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal gem5-flavoured status / error reporting. fatal() is for
+ * user errors (bad configuration, invalid arguments); panic() is for
+ * internal invariant violations that should never happen.
+ */
+
+#ifndef DCMBQC_COMMON_LOGGING_HH
+#define DCMBQC_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace dcmbqc
+{
+
+/** Severity levels for emitted messages. */
+enum class LogLevel
+{
+    Info,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Emit a message at the given level. Fatal exits with code 1;
+ * Panic aborts (possibly dumping core).
+ */
+[[noreturn]] void fatalImpl(const std::string &msg);
+[[noreturn]] void panicImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Enable or disable Info level output (default on). */
+void setVerbose(bool verbose);
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &oss, const T &value, const Rest &...rest)
+{
+    oss << value;
+    formatInto(oss, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream oss;
+    formatInto(oss, args...);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** User-level error: print and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    fatalImpl(detail::formatAll(args...));
+}
+
+/** Internal bug: print and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    panicImpl(detail::formatAll(args...));
+}
+
+/** Something might be wrong but execution can continue. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    warnImpl(detail::formatAll(args...));
+}
+
+/** Normal status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    informImpl(detail::formatAll(args...));
+}
+
+/**
+ * Assert an internal invariant; calls panic() with location info when
+ * the condition does not hold. Active in all build types because the
+ * compiler pipeline relies on these checks in tests.
+ */
+#define DCMBQC_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::dcmbqc::panic("assertion failed: ", #cond, " at ", __FILE__, \
+                            ":", __LINE__, " ", ##__VA_ARGS__);             \
+        }                                                                   \
+    } while (0)
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_COMMON_LOGGING_HH

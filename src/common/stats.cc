@@ -1,0 +1,93 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcmbqc
+{
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    const double new_mean =
+        mean_ + delta * static_cast<double>(other.n_) / total;
+    m2_ += other.m2_ + delta * delta *
+        static_cast<double>(n_) * static_cast<double>(other.n_) / total;
+    mean_ = new_mean;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    if (p <= 0)
+        return samples.front();
+    if (p >= 100)
+        return samples.back();
+    const double rank = p / 100.0 * (samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples.size())
+        return samples.back();
+    return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+double
+geometricMean(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double s : samples) {
+        if (s <= 0.0)
+            return 0.0;
+        log_sum += std::log(s);
+    }
+    return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+} // namespace dcmbqc

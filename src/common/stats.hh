@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Streaming summary statistics used by the benchmark harnesses and
+ * the Monte-Carlo distributed-execution simulator.
+ */
+
+#ifndef DCMBQC_COMMON_STATS_HH
+#define DCMBQC_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dcmbqc
+{
+
+/**
+ * Welford-style running mean / variance with min / max tracking.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples seen so far. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Percentile of a sample vector (linear interpolation, p in [0,100]). */
+double percentile(std::vector<double> samples, double p);
+
+/** Geometric mean of strictly positive samples (0 if any <= 0). */
+double geometricMean(const std::vector<double> &samples);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_COMMON_STATS_HH

@@ -1,0 +1,82 @@
+#include "common/table.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &value)
+{
+    DCMBQC_ASSERT(!rows_.empty(), "cell() before row()");
+    DCMBQC_ASSERT(rows_.back().size() < headers_.size(),
+                  "row has more cells than headers");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return cell(oss.str());
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            oss << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+                << text << " ";
+        }
+        oss << "|\n";
+    };
+
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        oss << "|" << std::string(widths[c] + 2, '-');
+    oss << "|\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+TextTable::render(const std::string &title) const
+{
+    return "== " + title + " ==\n" + render();
+}
+
+} // namespace dcmbqc

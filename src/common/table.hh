@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table renderer. The benchmark harnesses use it to print the
+ * rows of the paper's tables (Table II through Table VI) in a layout
+ * that is easy to diff against the published numbers.
+ */
+
+#ifndef DCMBQC_COMMON_TABLE_HH
+#define DCMBQC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace dcmbqc
+{
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric
+ * helpers format with a fixed precision.
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it. */
+    TextTable &row();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(const std::string &value);
+
+    /** Append an integer cell. */
+    TextTable &cell(long long value);
+    TextTable &cell(int value) { return cell(static_cast<long long>(value)); }
+    TextTable &cell(std::size_t value)
+    {
+        return cell(static_cast<long long>(value));
+    }
+
+    /** Append a floating cell with the given precision. */
+    TextTable &cell(double value, int precision = 2);
+
+    /** Render the whole table including a separator under headers. */
+    std::string render() const;
+
+    /** Render with a title line above the table. */
+    std::string render(const std::string &title) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_COMMON_TABLE_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental integer identifier types shared across the DC-MBQC
+ * library. Every module uses these aliases so that node / qubit /
+ * layer indices are visually distinct from plain loop counters.
+ */
+
+#ifndef DCMBQC_COMMON_TYPES_HH
+#define DCMBQC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dcmbqc
+{
+
+/** Identifier of a vertex in an undirected or directed graph. */
+using NodeId = std::int32_t;
+
+/** Identifier of an edge (index into an edge list). */
+using EdgeId = std::int32_t;
+
+/** Identifier of a logical circuit qubit. */
+using QubitId = std::int32_t;
+
+/** Identifier of a QPU in a distributed system. */
+using QpuId = std::int32_t;
+
+/** Index of an execution layer (one per system clock cycle group). */
+using LayerId = std::int32_t;
+
+/** A discrete scheduling time slot (Definition IV.1 time horizon). */
+using TimeSlot = std::int32_t;
+
+/** Sentinel meaning "no node / unassigned". */
+inline constexpr NodeId invalidNode = -1;
+
+/** Sentinel meaning "no layer assigned yet". */
+inline constexpr LayerId invalidLayer = -1;
+
+/** Sentinel meaning "no QPU assigned yet". */
+inline constexpr QpuId invalidQpu = -1;
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_COMMON_TYPES_HH

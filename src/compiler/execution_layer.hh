@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Output representation of the single-QPU compiler: a time-ordered
+ * sequence of execution layers (Section II-C). Each layer is one
+ * system clock cycle of the L x L RSG array; executing the sequence
+ * completes the local part of the MBQC program.
+ */
+
+#ifndef DCMBQC_COMPILER_EXECUTION_LAYER_HH
+#define DCMBQC_COMPILER_EXECUTION_LAYER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "photonic/grid.hh"
+
+namespace dcmbqc
+{
+
+/** One execution layer: the computation nodes it hosts plus stats. */
+struct ExecutionLayer
+{
+    /** Computation-graph nodes placed on this layer. */
+    std::vector<NodeId> nodes;
+
+    /** Cells hosting computation nodes (incl. expansion cells). */
+    int computeCells = 0;
+
+    /** Cells consumed by intra-layer routing. */
+    int routingCells = 0;
+};
+
+/** A compiled schedule for one QPU. */
+struct LocalSchedule
+{
+    GridSpec grid;
+
+    /** Execution layers in temporal order. */
+    std::vector<ExecutionLayer> layers;
+
+    /** Layer index per computation node. */
+    std::vector<LayerId> nodeLayer;
+
+    /** Fusions needed purely for intra-layer routing. */
+    long long routingFusions = 0;
+
+    /** Fusions realizing computation-graph edges. */
+    long long edgeFusions = 0;
+
+    /** Execution time in logical layers. */
+    int executionTime() const
+    {
+        return static_cast<int>(layers.size());
+    }
+
+    /** Execution time in physical clock cycles (PL ratio applied). */
+    int physicalExecutionTime() const
+    {
+        return executionTime() * grid.plRatio;
+    }
+
+    /** Physical generation cycle of a node (layer x PL ratio). */
+    TimeSlot nodePhysicalTime(NodeId u) const
+    {
+        return static_cast<TimeSlot>(nodeLayer[u]) * grid.plRatio;
+    }
+
+    /** Total fusion count (edge + routing), the Table II statistic. */
+    long long totalFusions() const
+    {
+        return routingFusions + edgeFusions;
+    }
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_COMPILER_EXECUTION_LAYER_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Placement-order strategies for the single-QPU compiler. The order
+ * determines fusee layer spans (the graph-bandwidth connection of
+ * Theorem IV.2), so it is the placer's main quality lever.
+ */
+
+#ifndef DCMBQC_COMPILER_ORDERING_HH
+#define DCMBQC_COMPILER_ORDERING_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/digraph.hh"
+#include "graph/graph.hh"
+
+namespace dcmbqc
+{
+
+/** Available placement-order strategies. */
+enum class PlacementOrder
+{
+    /**
+     * Node-creation order. For patterns built by the J-calculus this
+     * follows circuit time, is a topological order of the real-time
+     * dependency graph, and keeps entangled partners close.
+     */
+    Creation,
+
+    /**
+     * Reverse Cuthill-McKee bandwidth reduction, made consistent
+     * with the dependency graph by a Kahn pass that uses the RCM
+     * position as tie-break priority.
+     */
+    DependencyAwareRcm,
+};
+
+/**
+ * Compute a placement order for the nodes of g.
+ *
+ * @param deps Real-time dependency graph; the returned order is
+ *        always one of its topological orders.
+ */
+std::vector<NodeId> placementOrder(const Graph &g, const Digraph &deps,
+                                   PlacementOrder strategy);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_COMPILER_ORDERING_HH

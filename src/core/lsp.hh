@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The Layer Scheduling Problem (Definition IV.1): schedule the main
+ * tasks (per-QPU execution layers) and synchronization tasks
+ * (inter-QPU connector fusions via connection layers) over a
+ * discrete time horizon, minimizing the required photon lifetime
+ * max(tau_local, tau_remote). NP-hard (Theorem IV.2, by reduction
+ * from graph bandwidth).
+ */
+
+#ifndef DCMBQC_CORE_LSP_HH
+#define DCMBQC_CORE_LSP_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/lifetime.hh"
+#include "graph/digraph.hh"
+#include "graph/graph.hh"
+
+namespace dcmbqc
+{
+
+/** A main task J_{i,j}: execution layer j compiled for QPU i. */
+struct MainTask
+{
+    QpuId qpu = invalidQpu;
+    int index = -1; ///< j, the local layer index
+
+    /** Computation-graph nodes (global ids) on this layer. */
+    std::vector<NodeId> nodes;
+};
+
+/** A synchronization task S_k re-establishing one cut edge. */
+struct SyncTask
+{
+    /** Main-task ids of the two associated execution layers. */
+    int taskA = -1;
+    int taskB = -1;
+
+    /** The connector photons (global node ids). */
+    NodeId u = invalidNode;
+    NodeId v = invalidNode;
+};
+
+/**
+ * An instance of the layer scheduling problem. Owns the fusee-edge
+ * graph restricted to intra-QPU edges plus the global dependency
+ * graph needed to evaluate tau_local.
+ */
+class LayerSchedulingProblem
+{
+  public:
+    LayerSchedulingProblem() = default;
+
+    /**
+     * @param main_tasks All main tasks, grouped by QPU with
+     *        consecutive indices 0..m_i-1 per QPU.
+     * @param sync_tasks All synchronization tasks.
+     * @param local_edges Fusee pairs on the same QPU (global ids).
+     * @param deps Global real-time dependency graph.
+     * @param num_qpus Number of QPUs.
+     * @param kmax Connection capacity per connection layer.
+     * @param pl_ratio Physical cycles per scheduling slot (logical
+     *        layer); metrics are evaluated in physical cycles.
+     */
+    LayerSchedulingProblem(std::vector<MainTask> main_tasks,
+                           std::vector<SyncTask> sync_tasks,
+                           Graph local_edges, Digraph deps,
+                           int num_qpus, int kmax, int pl_ratio = 1);
+
+    int numQpus() const { return numQpus_; }
+    int kmax() const { return kmax_; }
+    int plRatio() const { return plRatio_; }
+
+    const std::vector<MainTask> &mainTasks() const { return mainTasks_; }
+    const std::vector<SyncTask> &syncTasks() const { return syncTasks_; }
+
+    /** Main-task ids of QPU i, in index order. */
+    const std::vector<int> &qpuTasks(QpuId i) const
+    {
+        return qpuTasks_[i];
+    }
+
+    /** Main task containing node u (global id); -1 when absent. */
+    int taskOfNode(NodeId u) const { return taskOfNode_[u]; }
+
+    /** Sync-task ids associated with each main task. */
+    const std::vector<int> &syncsOfTask(int main_task) const
+    {
+        return syncsOfTask_[main_task];
+    }
+
+    /**
+     * Release slot of each main task: scheduling a layer before the
+     * measurement chains feeding it can resolve only adds photon
+     * storage, so the scheduler treats
+     *   release = (longest real-time dependency chain into the
+     *              layer's nodes, in cycles) / plRatio
+     * as an earliest start. Computed on construction.
+     */
+    TimeSlot mainRelease(int main_task) const
+    {
+        return mainRelease_[main_task];
+    }
+
+    const Graph &localEdges() const { return localEdges_; }
+    const Digraph &deps() const { return deps_; }
+
+  private:
+    std::vector<MainTask> mainTasks_;
+    std::vector<SyncTask> syncTasks_;
+    std::vector<std::vector<int>> qpuTasks_;
+    std::vector<std::vector<int>> syncsOfTask_;
+    std::vector<int> taskOfNode_;
+    std::vector<TimeSlot> mainRelease_;
+    Graph localEdges_;
+    Digraph deps_;
+    int numQpus_ = 1;
+    int kmax_ = 4;
+    int plRatio_ = 1;
+};
+
+/** Decision variables: start slots of every task. */
+struct Schedule
+{
+    std::vector<TimeSlot> mainStart;
+    std::vector<TimeSlot> syncStart;
+
+    /** Latest occupied slot + 1 (in scheduling slots). */
+    TimeSlot makespan = 0;
+};
+
+/** Objective components of a schedule (in physical cycles). */
+struct ScheduleMetrics
+{
+    int tauLocal = 0;
+    int tauRemote = 0;
+    TimeSlot makespan = 0;
+
+    /** The LSP objective: max(tau_local, tau_remote). */
+    int tauPhoton() const { return std::max(tauLocal, tauRemote); }
+};
+
+/** Evaluate the objective of a (feasible) schedule. */
+ScheduleMetrics evaluateSchedule(const LayerSchedulingProblem &lsp,
+                                 const Schedule &schedule);
+
+/**
+ * Check feasibility: machine exclusivity (one main task XOR at most
+ * Kmax sync tasks per QPU per slot), per-QPU main-task order, and
+ * non-negative start times.
+ *
+ * @param why Optional out-description of the first violation.
+ */
+bool validateSchedule(const LayerSchedulingProblem &lsp,
+                      const Schedule &schedule,
+                      std::string *why = nullptr);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_CORE_LSP_HH

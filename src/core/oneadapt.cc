@@ -1,0 +1,55 @@
+#include "core/oneadapt.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "core/lifetime.hh"
+
+namespace dcmbqc
+{
+
+RefreshResult
+applyDynamicRefresh(const Graph &g, const Digraph &deps,
+                    const LocalSchedule &schedule,
+                    const RefreshConfig &config)
+{
+    DCMBQC_ASSERT(config.lifetimeCap >= 2, "refresh cap too small");
+
+    RefreshResult result;
+    const int cap = config.lifetimeCap;
+
+    int natural_max = 0;
+
+    // Fusee storage (physical cycles): an edge spanning s cycles
+    // needs ceil(s / cap) - 1 refreshes of the waiting photon.
+    for (const auto &e : g.edges()) {
+        const int span = std::abs(schedule.nodePhysicalTime(e.u) -
+                                  schedule.nodePhysicalTime(e.v));
+        natural_max = std::max(natural_max, span);
+        if (span > cap)
+            result.refreshCount += (span + cap - 1) / cap - 1;
+    }
+
+    // Measuree storage: waits beyond the cap refresh as well.
+    std::vector<TimeSlot> node_time(schedule.nodeLayer.size());
+    for (NodeId u = 0; u < static_cast<NodeId>(node_time.size()); ++u)
+        node_time[u] = schedule.nodePhysicalTime(u);
+    for (int wait : measureeWaits(deps, node_time)) {
+        natural_max = std::max(natural_max, wait);
+        if (wait > cap)
+            result.refreshCount += (wait + cap - 1) / cap - 1;
+    }
+
+    // Every refresh consumes one fresh resource state; charge the
+    // extra execution layers needed to generate them.
+    const int cells = std::max(schedule.grid.usableCells(), 1);
+    result.extraLayers = static_cast<int>(
+        (result.refreshCount + cells - 1) / cells);
+    result.executionTime = schedule.physicalExecutionTime() +
+        result.extraLayers * schedule.grid.plRatio;
+    result.requiredLifetime = std::min(natural_max, cap);
+    return result;
+}
+
+} // namespace dcmbqc

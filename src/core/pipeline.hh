@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The end-to-end DC-MBQC compilation pipeline (Figure 2): adaptive
+ * graph partitioning -> per-QPU single-QPU compilation -> layer
+ * scheduling (list + BDIR), producing a distributed schedule and the
+ * required-photon-lifetime / execution-time metrics of Section V.
+ * Also provides the monolithic (OneQ-style) baseline for the
+ * comparisons in Tables III-V.
+ */
+
+#ifndef DCMBQC_CORE_PIPELINE_HH
+#define DCMBQC_CORE_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/single_qpu.hh"
+#include "core/bdir.hh"
+#include "core/lsp.hh"
+#include "graph/digraph.hh"
+#include "graph/graph.hh"
+#include "mbqc/pattern.hh"
+#include "partition/adaptive.hh"
+
+namespace dcmbqc
+{
+
+/** Full configuration of the DC-MBQC compiler. */
+struct DcMbqcConfig
+{
+    /** Number of fully connected QPUs. */
+    int numQpus = 4;
+
+    /** Per-QPU resource grid. */
+    GridSpec grid;
+
+    /** Connection capacity Kmax per connection layer. */
+    int kmax = 4;
+
+    /** Adaptive partitioning parameters (epsilon_Q, alpha_max...). */
+    AdaptiveConfig partition;
+
+    /** Run the BDIR refinement pass after list scheduling. */
+    bool useBdir = true;
+
+    /** BDIR / simulated annealing parameters. */
+    BdirConfig bdir;
+
+    /** Placement order for the per-QPU compiler. */
+    PlacementOrder order = PlacementOrder::Creation;
+};
+
+/** Result of a distributed compilation. */
+struct DcMbqcResult
+{
+    /** The k-way partition of the computation graph. */
+    Partitioning partition;
+
+    /** Diagnostics of Algorithm 2. */
+    double partitionModularity = 0.0;
+    double partitionImbalance = 1.0;
+
+    /** Number of cut edges = connector pairs. */
+    int numConnectors = 0;
+
+    /** Per-QPU local schedules (local node ids). */
+    std::vector<LocalSchedule> localSchedules;
+
+    /** The final distributed schedule. */
+    Schedule schedule;
+
+    /** Objective components of the final schedule. */
+    ScheduleMetrics metrics;
+
+    /** Execution time in clock cycles. */
+    int executionTime() const { return metrics.makespan; }
+
+    /** Required photon lifetime. */
+    int requiredLifetime() const { return metrics.tauPhoton(); }
+};
+
+/** Result of the monolithic baseline compilation. */
+struct BaselineResult
+{
+    LocalSchedule schedule;
+    LifetimeBreakdown lifetime;
+
+    /** Execution time in physical clock cycles. */
+    int executionTime() const
+    {
+        return schedule.physicalExecutionTime();
+    }
+
+    int requiredLifetime() const { return lifetime.tauPhoton(); }
+};
+
+/**
+ * The DC-MBQC distributed compiler.
+ */
+class DcMbqcCompiler
+{
+  public:
+    explicit DcMbqcCompiler(DcMbqcConfig config);
+
+    /**
+     * Compile a computation graph with its real-time dependency
+     * graph onto numQpus QPUs.
+     */
+    DcMbqcResult compile(const Graph &g, const Digraph &deps) const;
+
+    /** Convenience: compile a measurement pattern. */
+    DcMbqcResult compile(const Pattern &pattern) const;
+
+    /**
+     * Build the LSP instance for a given partition (exposed so the
+     * scheduling benchmarks can compare schedulers on identical
+     * instances).
+     */
+    LayerSchedulingProblem buildLsp(
+        const Graph &g, const Digraph &deps, const Partitioning &part,
+        std::vector<LocalSchedule> *local_out = nullptr) const;
+
+    const DcMbqcConfig &config() const { return config_; }
+
+  private:
+    DcMbqcConfig config_;
+};
+
+/** Compile with the monolithic single-QPU baseline (OneQ-style). */
+BaselineResult compileBaseline(const Graph &g, const Digraph &deps,
+                               const SingleQpuConfig &config);
+
+/** Convenience overload for measurement patterns. */
+BaselineResult compileBaseline(const Pattern &pattern,
+                               const SingleQpuConfig &config);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_CORE_PIPELINE_HH

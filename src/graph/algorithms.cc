@@ -1,0 +1,147 @@
+#include "graph/algorithms.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+std::vector<int>
+bfsDistances(const Graph &g, NodeId source)
+{
+    std::vector<int> dist(g.numNodes(), -1);
+    std::vector<NodeId> queue;
+    queue.reserve(g.numNodes());
+    dist[source] = 0;
+    queue.push_back(source);
+    std::size_t head = 0;
+    while (head < queue.size()) {
+        NodeId u = queue[head++];
+        for (const auto &adj : g.adjacency(u)) {
+            if (dist[adj.neighbor] < 0) {
+                dist[adj.neighbor] = dist[u] + 1;
+                queue.push_back(adj.neighbor);
+            }
+        }
+    }
+    return dist;
+}
+
+int
+connectedComponents(const Graph &g, std::vector<int> &component)
+{
+    component.assign(g.numNodes(), -1);
+    int num_components = 0;
+    std::vector<NodeId> queue;
+    for (NodeId start = 0; start < g.numNodes(); ++start) {
+        if (component[start] >= 0)
+            continue;
+        component[start] = num_components;
+        queue.clear();
+        queue.push_back(start);
+        std::size_t head = 0;
+        while (head < queue.size()) {
+            NodeId u = queue[head++];
+            for (const auto &adj : g.adjacency(u)) {
+                if (component[adj.neighbor] < 0) {
+                    component[adj.neighbor] = num_components;
+                    queue.push_back(adj.neighbor);
+                }
+            }
+        }
+        ++num_components;
+    }
+    return num_components;
+}
+
+NodeId
+pseudoPeripheralNode(const Graph &g, NodeId seed)
+{
+    NodeId current = seed;
+    int current_ecc = -1;
+    for (int iter = 0; iter < 8; ++iter) {
+        auto dist = bfsDistances(g, current);
+        int ecc = 0;
+        NodeId far = current;
+        for (NodeId u = 0; u < g.numNodes(); ++u) {
+            if (dist[u] > ecc) {
+                ecc = dist[u];
+                far = u;
+            } else if (dist[u] == ecc && dist[u] > 0 &&
+                       g.degree(u) < g.degree(far)) {
+                far = u; // prefer low-degree peripheral nodes
+            }
+        }
+        if (ecc <= current_ecc)
+            break;
+        current_ecc = ecc;
+        current = far;
+    }
+    return current;
+}
+
+std::vector<NodeId>
+reverseCuthillMcKee(const Graph &g)
+{
+    const NodeId n = g.numNodes();
+    std::vector<NodeId> order;
+    order.reserve(n);
+    std::vector<char> visited(n, 0);
+
+    for (NodeId seed = 0; seed < n; ++seed) {
+        if (visited[seed])
+            continue;
+        NodeId start = pseudoPeripheralNode(g, seed);
+        if (visited[start])
+            start = seed;
+
+        // Standard Cuthill-McKee BFS with neighbors sorted by degree.
+        std::vector<NodeId> queue;
+        queue.push_back(start);
+        visited[start] = 1;
+        std::size_t head = 0;
+        std::vector<NodeId> neighbors;
+        while (head < queue.size()) {
+            NodeId u = queue[head++];
+            order.push_back(u);
+            neighbors.clear();
+            for (const auto &adj : g.adjacency(u))
+                if (!visited[adj.neighbor])
+                    neighbors.push_back(adj.neighbor);
+            std::sort(neighbors.begin(), neighbors.end(),
+                      [&](NodeId a, NodeId b) {
+                          if (g.degree(a) != g.degree(b))
+                              return g.degree(a) < g.degree(b);
+                          return a < b;
+                      });
+            for (NodeId v : neighbors) {
+                visited[v] = 1;
+                queue.push_back(v);
+            }
+        }
+    }
+
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+int
+bandwidth(const Graph &g, const std::vector<int> &position)
+{
+    int bw = 0;
+    for (const auto &e : g.edges())
+        bw = std::max(bw, std::abs(position[e.u] - position[e.v]));
+    return bw;
+}
+
+std::vector<int>
+inversePermutation(const std::vector<NodeId> &order)
+{
+    std::vector<int> pos(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = static_cast<int>(i);
+    return pos;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Classic graph algorithms used by the partitioner and the placer:
+ * BFS, connected components, reverse Cuthill-McKee ordering (the
+ * single-QPU placer uses it to keep fusee layer spans small, which
+ * is exactly the graph-bandwidth connection used by the paper's
+ * NP-hardness proof, Theorem IV.2), and graph bandwidth evaluation.
+ */
+
+#ifndef DCMBQC_GRAPH_ALGORITHMS_HH
+#define DCMBQC_GRAPH_ALGORITHMS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/graph.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Breadth-first distances from a source.
+ *
+ * @return Vector of hop counts; -1 for unreachable nodes.
+ */
+std::vector<int> bfsDistances(const Graph &g, NodeId source);
+
+/**
+ * Connected components.
+ *
+ * @param component Out: component id per node (dense, 0-based).
+ * @return Number of components.
+ */
+int connectedComponents(const Graph &g, std::vector<int> &component);
+
+/**
+ * A pseudo-peripheral node of the component containing the seed,
+ * found by repeated BFS sweeps (standard George-Liu heuristic).
+ */
+NodeId pseudoPeripheralNode(const Graph &g, NodeId seed);
+
+/**
+ * Reverse Cuthill-McKee ordering. Produces a permutation of the
+ * nodes that tends to minimize the bandwidth of the adjacency
+ * structure; covers all components.
+ *
+ * @return order[i] = the node placed at position i.
+ */
+std::vector<NodeId> reverseCuthillMcKee(const Graph &g);
+
+/**
+ * Bandwidth of a layout: max over edges of |pos(u) - pos(v)|.
+ *
+ * @param position position[u] = index of node u in the layout.
+ */
+int bandwidth(const Graph &g, const std::vector<int> &position);
+
+/** Invert a permutation: result[order[i]] = i. */
+std::vector<int> inversePermutation(const std::vector<NodeId> &order);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_GRAPH_ALGORITHMS_HH

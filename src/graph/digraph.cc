@@ -1,0 +1,77 @@
+#include "graph/digraph.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+Digraph::Digraph(NodeId num_nodes) : succ_(num_nodes), pred_(num_nodes)
+{
+}
+
+NodeId
+Digraph::addNode()
+{
+    succ_.emplace_back();
+    pred_.emplace_back();
+    return static_cast<NodeId>(succ_.size() - 1);
+}
+
+void
+Digraph::addArc(NodeId from, NodeId to)
+{
+    DCMBQC_ASSERT(from >= 0 && from < numNodes(), "addArc: bad from");
+    DCMBQC_ASSERT(to >= 0 && to < numNodes(), "addArc: bad to");
+    succ_[from].push_back(to);
+    pred_[to].push_back(from);
+    ++numArcs_;
+}
+
+bool
+Digraph::topologicalSort(std::vector<NodeId> &order) const
+{
+    order.clear();
+    order.reserve(numNodes());
+    std::vector<int> indeg(numNodes());
+    for (NodeId u = 0; u < numNodes(); ++u)
+        indeg[u] = inDegree(u);
+
+    std::vector<NodeId> queue;
+    for (NodeId u = 0; u < numNodes(); ++u)
+        if (indeg[u] == 0)
+            queue.push_back(u);
+
+    std::size_t head = 0;
+    while (head < queue.size()) {
+        NodeId u = queue[head++];
+        order.push_back(u);
+        for (NodeId v : succ_[u])
+            if (--indeg[v] == 0)
+                queue.push_back(v);
+    }
+    return order.size() == static_cast<std::size_t>(numNodes());
+}
+
+bool
+Digraph::isAcyclic() const
+{
+    std::vector<NodeId> order;
+    return topologicalSort(order);
+}
+
+std::vector<int>
+Digraph::longestPathTo() const
+{
+    std::vector<NodeId> order;
+    bool acyclic = topologicalSort(order);
+    DCMBQC_ASSERT(acyclic, "longestPathTo on cyclic digraph");
+    std::vector<int> dist(numNodes(), 0);
+    for (NodeId u : order)
+        for (NodeId v : succ_[u])
+            dist[v] = std::max(dist[v], dist[u] + 1);
+    return dist;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Directed graph used for MBQC measurement dependency graphs
+ * (Section II-A of the paper) and task precedence in scheduling.
+ */
+
+#ifndef DCMBQC_GRAPH_DIGRAPH_HH
+#define DCMBQC_GRAPH_DIGRAPH_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Simple directed graph with successor and predecessor lists.
+ * Nodes are dense integers [0, numNodes).
+ */
+class Digraph
+{
+  public:
+    Digraph() = default;
+
+    /** Construct with a fixed number of nodes and no arcs. */
+    explicit Digraph(NodeId num_nodes);
+
+    /** Append an isolated node; returns its id. */
+    NodeId addNode();
+
+    /** Add arc from -> to. Duplicate arcs are allowed but unused. */
+    void addArc(NodeId from, NodeId to);
+
+    NodeId numNodes() const { return static_cast<NodeId>(succ_.size()); }
+
+    /** Total number of arcs. */
+    std::size_t numArcs() const { return numArcs_; }
+
+    const std::vector<NodeId> &successors(NodeId u) const { return succ_[u]; }
+    const std::vector<NodeId> &predecessors(NodeId u) const
+    {
+        return pred_[u];
+    }
+
+    int outDegree(NodeId u) const { return static_cast<int>(succ_[u].size()); }
+    int inDegree(NodeId u) const { return static_cast<int>(pred_[u].size()); }
+
+    /**
+     * Kahn topological sort.
+     *
+     * @param order Out parameter filled with a topological order.
+     * @return False when the graph contains a cycle (order is then
+     *         a partial prefix).
+     */
+    bool topologicalSort(std::vector<NodeId> &order) const;
+
+    /** True when the graph is acyclic. */
+    bool isAcyclic() const;
+
+    /**
+     * Length (in arcs) of the longest path ending at each node; the
+     * graph must be acyclic.
+     */
+    std::vector<int> longestPathTo() const;
+
+  private:
+    std::vector<std::vector<NodeId>> succ_;
+    std::vector<std::vector<NodeId>> pred_;
+    std::size_t numArcs_ = 0;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_GRAPH_DIGRAPH_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Undirected weighted graph. This is the representation used for
+ * MBQC graph states, computation graphs (nodes = resource units,
+ * edges = fusions, as in OneQ), and the partitioner's coarsened
+ * graphs.
+ */
+
+#ifndef DCMBQC_GRAPH_GRAPH_HH
+#define DCMBQC_GRAPH_GRAPH_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dcmbqc
+{
+
+/** One endpoint record in an adjacency list. */
+struct Adjacency
+{
+    NodeId neighbor;
+    EdgeId edge;
+    int weight;
+};
+
+/** An undirected edge with an integer weight. */
+struct Edge
+{
+    NodeId u;
+    NodeId v;
+    int weight;
+};
+
+/**
+ * Undirected graph with integer node and edge weights.
+ *
+ * Node weights default to 1 and represent resource units for
+ * workload balancing; edge weights default to 1 and represent fusion
+ * multiplicity after coarsening. Parallel edges are merged by
+ * addEdge() when requested via mergeParallel (the partitioner's
+ * coarsening relies on this).
+ */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /** Construct with a fixed number of isolated nodes. */
+    explicit Graph(NodeId num_nodes);
+
+    /** Append a new isolated node and return its id. */
+    NodeId addNode(int weight = 1);
+
+    /**
+     * Add an undirected edge between u and v.
+     *
+     * @param merge_parallel When true and an edge (u, v) already
+     *        exists, add the weight to it instead of creating a
+     *        parallel edge (linear scan of u's adjacency).
+     * @return The edge id (existing id when merged).
+     */
+    EdgeId addEdge(NodeId u, NodeId v, int weight = 1,
+                   bool merge_parallel = false);
+
+    /** True when an edge between u and v exists (scans adjacency). */
+    bool hasEdge(NodeId u, NodeId v) const;
+
+    NodeId numNodes() const { return static_cast<NodeId>(nodeWeights_.size()); }
+    EdgeId numEdges() const { return static_cast<EdgeId>(edges_.size()); }
+
+    int nodeWeight(NodeId u) const { return nodeWeights_[u]; }
+    void setNodeWeight(NodeId u, int w) { nodeWeights_[u] = w; }
+
+    /** Sum of all node weights. */
+    long long totalNodeWeight() const;
+
+    /** Sum of all edge weights. */
+    long long totalEdgeWeight() const;
+
+    const Edge &edge(EdgeId e) const { return edges_[e]; }
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Adjacency of node u (neighbor, edge id, weight triples). */
+    const std::vector<Adjacency> &adjacency(NodeId u) const
+    {
+        return adjacency_[u];
+    }
+
+    /** Unweighted degree of node u. */
+    int degree(NodeId u) const
+    {
+        return static_cast<int>(adjacency_[u].size());
+    }
+
+    /** Sum of incident edge weights of node u. */
+    long long weightedDegree(NodeId u) const;
+
+    /** Maximum unweighted degree over all nodes. */
+    int maxDegree() const;
+
+    /**
+     * Extract the subgraph induced by the given nodes.
+     *
+     * @param nodes Node ids of the subgraph, in the order they should
+     *        be numbered in the result.
+     * @param to_sub Optional out-map from original id to subgraph id
+     *        (invalidNode for nodes outside the subgraph).
+     * @return The induced subgraph; node i corresponds to nodes[i].
+     */
+    Graph inducedSubgraph(const std::vector<NodeId> &nodes,
+                          std::vector<NodeId> *to_sub = nullptr) const;
+
+  private:
+    std::vector<int> nodeWeights_;
+    std::vector<std::vector<Adjacency>> adjacency_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_GRAPH_GRAPH_HH

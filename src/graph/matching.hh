@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Greedy heavy-edge matching, the coarsening primitive of the
+ * multilevel k-way partitioning scheme (Karypis-Kumar [32]) that
+ * Algorithm 2 builds on.
+ */
+
+#ifndef DCMBQC_GRAPH_MATCHING_HH
+#define DCMBQC_GRAPH_MATCHING_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "graph/graph.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Compute a heavy-edge matching.
+ *
+ * Visits nodes in a random order; each unmatched node is matched to
+ * the unmatched neighbor with maximum edge weight (ties broken by
+ * smaller combined node weight to keep coarse nodes balanced).
+ *
+ * @param match Out: match[u] = partner of u, or u itself when
+ *        unmatched.
+ * @return Number of matched pairs.
+ */
+int heavyEdgeMatching(const Graph &g, Rng &rng, std::vector<NodeId> &match);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_GRAPH_MATCHING_HH

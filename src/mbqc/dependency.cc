@@ -1,0 +1,70 @@
+#include "mbqc/dependency.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+DependencyGraphs
+buildDependencyGraphs(const Pattern &pattern)
+{
+    const NodeId n = pattern.numNodes();
+    DependencyGraphs deps{Digraph(n), Digraph(n)};
+
+    for (NodeId m = 0; m < n; ++m) {
+        if (pattern.isOutput(m))
+            continue;
+        const NodeId succ = pattern.flow(m);
+        // X correction on the flow successor.
+        if (!pattern.isOutput(succ))
+            deps.xDeps.addArc(m, succ);
+        // Z corrections on the successor's other neighbors.
+        for (const auto &adj : pattern.graph().adjacency(succ)) {
+            const NodeId j = adj.neighbor;
+            if (j == m || pattern.isOutput(j))
+                continue;
+            deps.zDeps.addArc(m, j);
+        }
+    }
+
+    DCMBQC_ASSERT(deps.xDeps.isAcyclic(), "X-dependency graph cyclic");
+    return deps;
+}
+
+bool
+isCliffordAngle(double theta)
+{
+    constexpr double half_pi = 1.57079632679489661923;
+    const double ratio = theta / half_pi;
+    const double nearest = std::nearbyint(ratio);
+    return std::abs(ratio - nearest) < 1e-9;
+}
+
+Digraph
+realTimeDependencyGraph(const Pattern &pattern)
+{
+    // X-dependencies follow the causal flow along each wire. A
+    // Clifford-angle node needs no adaptation; its own correction
+    // folds classically into how its outcome is interpreted, so the
+    // real-time chain links consecutive NON-Clifford measurements of
+    // the wire (Pauli flow).
+    Digraph deps(pattern.numNodes());
+    const int wires = pattern.numWires();
+    std::vector<NodeId> last_adaptive(wires, invalidNode);
+
+    for (NodeId m : pattern.measurementOrder()) {
+        if (isCliffordAngle(pattern.angle(m)))
+            continue;
+        const QubitId w = pattern.wire(m);
+        if (last_adaptive[w] != invalidNode)
+            deps.addArc(last_adaptive[w], m);
+        last_adaptive[w] = m;
+    }
+
+    DCMBQC_ASSERT(deps.isAcyclic(), "real-time deps cyclic");
+    return deps;
+}
+
+} // namespace dcmbqc

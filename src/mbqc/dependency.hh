@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Measurement dependency graphs G' = (V, E') of Section II-A.
+ *
+ * An arc (i, j) means the measurement basis of j depends on the
+ * outcome of i. X-dependencies require real-time adaptation;
+ * Z-dependencies flip the interpretation of the outcome (a pi offset
+ * in the basis) and are removed from the real-time constraints by
+ * signal shifting [13].
+ */
+
+#ifndef DCMBQC_MBQC_DEPENDENCY_HH
+#define DCMBQC_MBQC_DEPENDENCY_HH
+
+#include "graph/digraph.hh"
+#include "mbqc/pattern.hh"
+
+namespace dcmbqc
+{
+
+/** X- and Z-dependency graphs of a pattern, derived from its flow. */
+struct DependencyGraphs
+{
+    /** i -> j when j's angle sign depends on s_i (X correction). */
+    Digraph xDeps;
+
+    /** i -> j when j's angle offset depends on s_i (Z correction). */
+    Digraph zDeps;
+};
+
+/**
+ * Derive both dependency graphs from the causal flow: measuring i
+ * places X^{s_i} on f(i) and Z^{s_i} on N(f(i)) \ {i}. Arcs point
+ * only to measured nodes (outputs absorb corrections as byproducts).
+ */
+DependencyGraphs buildDependencyGraphs(const Pattern &pattern);
+
+/**
+ * True when theta is a multiple of pi/2: the measurement is a Pauli
+ * measurement, and an X byproduct only flips the sign of a Clifford
+ * angle onto an equivalent basis (outcome relabeling), so no
+ * real-time adaptation is needed.
+ */
+bool isCliffordAngle(double theta);
+
+/**
+ * The real-time dependency graph: X-dependencies after signal
+ * shifting AND Pauli-flow simplification. Z-dependencies are
+ * shifted to the end classically [13]; X-dependencies into
+ * Clifford-angle (Pauli) measurements are removed, with the
+ * dependency transferring through to the next non-Clifford
+ * measurement on the wire. Algorithm 1 consumes this graph.
+ */
+Digraph realTimeDependencyGraph(const Pattern &pattern);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_MBQC_DEPENDENCY_HH

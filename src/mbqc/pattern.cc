@@ -1,0 +1,61 @@
+#include "mbqc/pattern.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+NodeId
+Pattern::addNode(QubitId wire)
+{
+    const NodeId id = graph_.addNode();
+    angles_.push_back(0.0);
+    flow_.push_back(invalidNode);
+    wires_.push_back(wire);
+    return id;
+}
+
+void
+Pattern::setMeasurement(NodeId u, double theta, NodeId flow_successor)
+{
+    DCMBQC_ASSERT(u >= 0 && u < numNodes(), "setMeasurement: bad node");
+    DCMBQC_ASSERT(flow_successor >= 0 && flow_successor < numNodes(),
+                  "setMeasurement: bad flow successor");
+    DCMBQC_ASSERT(flow_[u] == invalidNode, "node measured twice: ", u);
+    angles_[u] = theta;
+    flow_[u] = flow_successor;
+    measurementOrder_.push_back(u);
+}
+
+void
+Pattern::setOutputs(std::vector<NodeId> outputs)
+{
+    outputs_ = std::move(outputs);
+}
+
+void
+Pattern::validate() const
+{
+    DCMBQC_ASSERT(static_cast<NodeId>(angles_.size()) == numNodes(),
+                  "angles size mismatch");
+    const NodeId measured =
+        static_cast<NodeId>(measurementOrder_.size());
+    DCMBQC_ASSERT(measured + static_cast<NodeId>(outputs_.size()) ==
+                      numNodes(),
+                  "every node must be measured or an output");
+    for (NodeId out : outputs_)
+        DCMBQC_ASSERT(flow_[out] == invalidNode, "output has flow");
+    for (NodeId u : measurementOrder_) {
+        DCMBQC_ASSERT(flow_[u] != invalidNode, "measured without flow");
+        // The flow successor must be a graph neighbor (flow axiom).
+        bool neighbor = false;
+        for (const auto &adj : graph_.adjacency(u))
+            neighbor |= adj.neighbor == flow_[u];
+        DCMBQC_ASSERT(neighbor, "flow successor of ", u,
+                      " is not a neighbor");
+    }
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Translation from a {CZ, J(alpha)} program to a one-way measurement
+ * pattern, following the standard J-calculus construction:
+ *
+ *   J(alpha) on wire w:  E(m, n)  then  M^{-alpha}(m)
+ * with m the wire's current node and n a fresh node; the causal flow
+ * is f(m) = n. CZ gates add graph edges between current wire nodes
+ * (a repeated CZ on the same pair toggles the edge off, CZ^2 = I).
+ */
+
+#ifndef DCMBQC_MBQC_PATTERN_BUILDER_HH
+#define DCMBQC_MBQC_PATTERN_BUILDER_HH
+
+#include "circuit/circuit.hh"
+#include "circuit/transpile.hh"
+#include "mbqc/pattern.hh"
+
+namespace dcmbqc
+{
+
+/** Build the measurement pattern of a lowered program. */
+Pattern buildPattern(const JCircuit &jcircuit);
+
+/** Convenience: transpile then build. */
+Pattern buildPattern(const Circuit &circuit);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_MBQC_PATTERN_BUILDER_HH

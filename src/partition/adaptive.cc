@@ -1,0 +1,62 @@
+#include "partition/adaptive.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "partition/modularity.hh"
+#include "partition/multilevel.hh"
+
+namespace dcmbqc
+{
+
+AdaptiveResult
+adaptivePartition(const Graph &g, const AdaptiveConfig &config)
+{
+    DCMBQC_ASSERT(config.k >= 1, "adaptivePartition: k >= 1 required");
+    DCMBQC_ASSERT(config.gamma > 1.0, "gamma must exceed 1");
+
+    AdaptiveResult result;
+    result.best = Partitioning(g.numNodes(), config.k);
+
+    double alpha = 1.0;
+    double q_best = -1.0;
+    double previous_q = -1.0;
+
+    for (int iter = 0; iter < config.maxIterations; ++iter) {
+        MultilevelConfig ml;
+        ml.k = config.k;
+        ml.alpha = alpha;
+        ml.seed = config.seed + static_cast<std::uint64_t>(iter) * 0x9e37;
+        Partitioning p = MultilevelPartitioner(ml).partition(g);
+        const double q = modularity(g, p);
+        ++result.probes;
+
+        if (q > q_best) {
+            q_best = q;
+            result.best = p;
+            result.alphaAtBest = alpha;
+        }
+
+        const double delta_q = q - previous_q;
+        previous_q = q;
+
+        if (delta_q > config.epsilonQ && alpha < config.alphaMax) {
+            alpha = std::min(alpha * config.gamma, config.alphaMax);
+        } else if (delta_q < -config.epsilonQ) {
+            alpha = std::max(alpha / config.gamma, 1.0);
+            // Revisiting a lower alpha with the same seed schedule
+            // still counts toward the iteration budget; stop once we
+            // bounce at the floor.
+            if (alpha <= 1.0)
+                break;
+        } else {
+            break;
+        }
+    }
+
+    result.modularity = q_best;
+    result.cutEdges = result.best.numCutEdges(g);
+    return result;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Adaptive graph partitioning — Algorithm 2 of the paper.
+ *
+ * Starts from a perfectly balanced k-way partition (alpha = 1) and
+ * iteratively relaxes the balance constraint by the multiplicative
+ * step factor gamma, accepting a new, less balanced partition only
+ * when it yields a modularity gain larger than epsilon_Q. Terminates
+ * when the gain stagnates or alpha reaches alpha_max.
+ */
+
+#ifndef DCMBQC_PARTITION_ADAPTIVE_HH
+#define DCMBQC_PARTITION_ADAPTIVE_HH
+
+#include <cstdint>
+
+#include "graph/graph.hh"
+#include "partition/partitioning.hh"
+
+namespace dcmbqc
+{
+
+/** Parameters of Algorithm 2 (paper defaults in Section V-A). */
+struct AdaptiveConfig
+{
+    /** Number of QPUs / parts. */
+    int k = 4;
+
+    /** Modularity improvement threshold epsilon_Q. */
+    double epsilonQ = 0.01;
+
+    /** Maximum imbalance factor alpha_max. */
+    double alphaMax = 1.5;
+
+    /** Multiplicative step factor gamma (learning rate). */
+    double gamma = 1.02;
+
+    /** Safety cap on probe iterations. */
+    int maxIterations = 256;
+
+    std::uint64_t seed = 1;
+};
+
+/** Result of the adaptive search: best partition plus diagnostics. */
+struct AdaptiveResult
+{
+    Partitioning best;
+
+    /** Modularity of the best partition. */
+    double modularity = -1.0;
+
+    /** Imbalance alpha at which the best partition was found. */
+    double alphaAtBest = 1.0;
+
+    /** Cut size (number of cut edges = connector pairs). */
+    int cutEdges = 0;
+
+    /** Number of Partition(G, alpha) probes performed. */
+    int probes = 0;
+};
+
+/**
+ * Run Algorithm 2: adaptive graph partitioning.
+ *
+ * @param g The computation graph (nodes = resource units).
+ * @return Best partition found with diagnostics.
+ */
+AdaptiveResult adaptivePartition(const Graph &g,
+                                 const AdaptiveConfig &config = {});
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_PARTITION_ADAPTIVE_HH

@@ -1,0 +1,172 @@
+#include "partition/louvain.hh"
+
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+/**
+ * One level of Louvain local moves. `self_weight[u]` carries the
+ * intra-community edge weight absorbed by coarse node u from
+ * previous aggregation levels (a self-loop of weight w contributes
+ * 2w to the node's degree); `two_m` is 2x the total edge weight of
+ * the ORIGINAL graph, which is invariant across levels.
+ */
+bool
+localMovePhase(const Graph &g, const std::vector<double> &self_weight,
+               double two_m, std::vector<int> &community, Rng &rng,
+               double min_gain)
+{
+    const NodeId n = g.numNodes();
+    if (two_m <= 0.0)
+        return false;
+
+    std::vector<double> degree(n, 0.0);
+    for (NodeId u = 0; u < n; ++u)
+        degree[u] = static_cast<double>(g.weightedDegree(u)) +
+            2.0 * self_weight[u];
+
+    std::vector<double> community_degree(n, 0.0);
+    for (NodeId u = 0; u < n; ++u)
+        community_degree[community[u]] += degree[u];
+
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    bool any_move = false;
+    bool improved = true;
+    std::unordered_map<int, double> neighbor_weight;
+    int guard = 0;
+    while (improved && guard++ < 64) {
+        improved = false;
+        for (NodeId u : order) {
+            const int from = community[u];
+            neighbor_weight.clear();
+            for (const auto &adj : g.adjacency(u))
+                neighbor_weight[community[adj.neighbor]] +=
+                    static_cast<double>(adj.weight);
+
+            community_degree[from] -= degree[u];
+
+            // Standard Louvain comparator: with u removed from its
+            // community, score(c) = k_{u,c} - deg(u) * Sigma_c / 2m
+            // is the modularity gain of joining c up to a constant
+            // factor; pick the argmax (staying in `from` included).
+            auto score = [&](int c) {
+                const double w = neighbor_weight.count(c)
+                    ? neighbor_weight.at(c) : 0.0;
+                return w - degree[u] * community_degree[c] / two_m;
+            };
+            int best = from;
+            double best_score = score(from);
+            for (const auto &[c, w] : neighbor_weight) {
+                (void)w;
+                if (c == from)
+                    continue;
+                const double s = score(c);
+                if (s > best_score + min_gain) {
+                    best_score = s;
+                    best = c;
+                }
+            }
+            community[u] = best;
+            community_degree[best] += degree[u];
+            if (best != from) {
+                improved = true;
+                any_move = true;
+            }
+        }
+    }
+    return any_move;
+}
+
+/** Renumber community ids to be dense; returns the number of parts. */
+int
+densify(std::vector<int> &community)
+{
+    std::unordered_map<int, int> remap;
+    for (int &c : community) {
+        auto [it, inserted] =
+            remap.emplace(c, static_cast<int>(remap.size()));
+        c = it->second;
+    }
+    return static_cast<int>(remap.size());
+}
+
+/**
+ * Aggregate communities into a coarse graph, folding intra-community
+ * edge weight (plus absorbed self weight) into `self_weight_out`.
+ */
+Graph
+aggregate(const Graph &g, const std::vector<double> &self_weight,
+          const std::vector<int> &community, int k,
+          std::vector<double> &self_weight_out)
+{
+    Graph coarse(k);
+    std::vector<int> weights(k, 0);
+    self_weight_out.assign(k, 0.0);
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        weights[community[u]] += g.nodeWeight(u);
+        self_weight_out[community[u]] += self_weight[u];
+    }
+    for (int c = 0; c < k; ++c)
+        coarse.setNodeWeight(c, weights[c]);
+    for (const auto &e : g.edges()) {
+        const int cu = community[e.u];
+        const int cv = community[e.v];
+        if (cu != cv)
+            coarse.addEdge(cu, cv, e.weight, /*merge_parallel=*/true);
+        else
+            self_weight_out[cu] += e.weight;
+    }
+    return coarse;
+}
+
+} // namespace
+
+Partitioning
+louvain(const Graph &g, const LouvainConfig &config)
+{
+    Rng rng(config.seed);
+    const NodeId n = g.numNodes();
+    const double two_m = 2.0 * static_cast<double>(g.totalEdgeWeight());
+
+    std::vector<int> assignment(n);
+    std::iota(assignment.begin(), assignment.end(), 0);
+
+    Graph level_graph = g;
+    std::vector<double> self_weight(n, 0.0);
+
+    for (int level = 0; level < config.maxLevels; ++level) {
+        std::vector<int> community(level_graph.numNodes());
+        std::iota(community.begin(), community.end(), 0);
+        const bool moved = localMovePhase(level_graph, self_weight,
+                                          two_m, community, rng,
+                                          config.minGain);
+        if (!moved)
+            break;
+        const int k = densify(community);
+        // Propagate to original nodes.
+        for (NodeId u = 0; u < n; ++u)
+            assignment[u] = community[assignment[u]];
+        if (k == level_graph.numNodes())
+            break;
+        std::vector<double> next_self;
+        level_graph = aggregate(level_graph, self_weight, community, k,
+                                next_self);
+        self_weight = std::move(next_self);
+    }
+
+    const int k = densify(assignment);
+    return Partitioning(std::move(assignment), k);
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Louvain community detection (Blondel et al. [9]). The paper cites
+ * community detection as the modularity-maximizing extreme of the
+ * imbalance/modularity trade-off that Algorithm 2 navigates; we use
+ * Louvain as a modularity reference point in tests and ablations.
+ */
+
+#ifndef DCMBQC_PARTITION_LOUVAIN_HH
+#define DCMBQC_PARTITION_LOUVAIN_HH
+
+#include <cstdint>
+
+#include "graph/graph.hh"
+#include "partition/partitioning.hh"
+
+namespace dcmbqc
+{
+
+/** Parameters for Louvain community detection. */
+struct LouvainConfig
+{
+    /** Minimum modularity gain to keep iterating a local-move pass. */
+    double minGain = 1e-7;
+
+    /** Maximum number of aggregation levels. */
+    int maxLevels = 16;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Run Louvain community detection.
+ *
+ * @return A partitioning whose number of parts equals the number of
+ *         detected communities (dense ids).
+ */
+Partitioning louvain(const Graph &g, const LouvainConfig &config = {});
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_PARTITION_LOUVAIN_HH

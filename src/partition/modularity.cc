@@ -1,0 +1,33 @@
+#include "partition/modularity.hh"
+
+#include <vector>
+
+namespace dcmbqc
+{
+
+double
+modularity(const Graph &g, const Partitioning &p)
+{
+    const double m = static_cast<double>(g.totalEdgeWeight());
+    if (m <= 0.0)
+        return 0.0;
+
+    std::vector<double> intra(p.numParts(), 0.0);
+    std::vector<double> degree(p.numParts(), 0.0);
+    for (const auto &e : g.edges()) {
+        if (p.part(e.u) == p.part(e.v))
+            intra[p.part(e.u)] += e.weight;
+    }
+    for (NodeId u = 0; u < g.numNodes(); ++u)
+        degree[p.part(u)] += static_cast<double>(g.weightedDegree(u));
+
+    double q = 0.0;
+    for (int c = 0; c < p.numParts(); ++c) {
+        const double ec = intra[c] / m;
+        const double dc = degree[c] / (2.0 * m);
+        q += ec - dc * dc;
+    }
+    return q;
+}
+
+} // namespace dcmbqc

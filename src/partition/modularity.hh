@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Newman modularity [39], the structural-quality metric that
+ * Algorithm 2 maximizes while relaxing the balance constraint.
+ */
+
+#ifndef DCMBQC_PARTITION_MODULARITY_HH
+#define DCMBQC_PARTITION_MODULARITY_HH
+
+#include "graph/graph.hh"
+#include "partition/partitioning.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Weighted modularity of a partition:
+ *   Q = sum_c [ e_c / m  -  (d_c / (2 m))^2 ]
+ * where m is the total edge weight, e_c the intra-community edge
+ * weight and d_c the total weighted degree of community c.
+ *
+ * @return Q in [-0.5, 1]; 0 for an empty graph.
+ */
+double modularity(const Graph &g, const Partitioning &p);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_PARTITION_MODULARITY_HH

@@ -1,0 +1,76 @@
+#include "partition/partitioning.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+Partitioning::Partitioning(NodeId num_nodes, int k)
+    : assignment_(num_nodes, 0), k_(k)
+{
+    DCMBQC_ASSERT(k >= 1, "partition needs k >= 1");
+}
+
+Partitioning::Partitioning(std::vector<int> assignment, int k)
+    : assignment_(std::move(assignment)), k_(k)
+{
+    DCMBQC_ASSERT(k >= 1, "partition needs k >= 1");
+    for (int p : assignment_)
+        DCMBQC_ASSERT(p >= 0 && p < k, "assignment out of range: ", p);
+}
+
+long long
+Partitioning::cutWeight(const Graph &g) const
+{
+    long long cut = 0;
+    for (const auto &e : g.edges())
+        if (assignment_[e.u] != assignment_[e.v])
+            cut += e.weight;
+    return cut;
+}
+
+int
+Partitioning::numCutEdges(const Graph &g) const
+{
+    int cut = 0;
+    for (const auto &e : g.edges())
+        if (assignment_[e.u] != assignment_[e.v])
+            ++cut;
+    return cut;
+}
+
+std::vector<long long>
+Partitioning::partWeights(const Graph &g) const
+{
+    std::vector<long long> weights(k_, 0);
+    for (NodeId u = 0; u < g.numNodes(); ++u)
+        weights[assignment_[u]] += g.nodeWeight(u);
+    return weights;
+}
+
+double
+Partitioning::imbalance(const Graph &g) const
+{
+    const auto weights = partWeights(g);
+    const long long total = g.totalNodeWeight();
+    if (total == 0)
+        return 1.0;
+    const double ideal =
+        static_cast<double>(total) / static_cast<double>(k_);
+    const long long heaviest =
+        *std::max_element(weights.begin(), weights.end());
+    return static_cast<double>(heaviest) / ideal;
+}
+
+std::vector<std::vector<NodeId>>
+Partitioning::partMembers() const
+{
+    std::vector<std::vector<NodeId>> members(k_);
+    for (NodeId u = 0; u < numNodes(); ++u)
+        members[assignment_[u]].push_back(u);
+    return members;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Representation of a k-way partition of a graph plus the quality
+ * measures used throughout Section IV-A of the paper: edge cut
+ * (communication volume), imbalance (workload balance), and the
+ * part sizes needed to evaluate the balance constraint alpha.
+ */
+
+#ifndef DCMBQC_PARTITION_PARTITIONING_HH
+#define DCMBQC_PARTITION_PARTITIONING_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/graph.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * A k-way assignment of graph nodes to parts [0, k).
+ */
+class Partitioning
+{
+  public:
+    Partitioning() = default;
+
+    /** Construct with all nodes in part 0. */
+    Partitioning(NodeId num_nodes, int k);
+
+    /** Construct from an explicit assignment vector. */
+    Partitioning(std::vector<int> assignment, int k);
+
+    int numParts() const { return k_; }
+    NodeId numNodes() const
+    {
+        return static_cast<NodeId>(assignment_.size());
+    }
+
+    int part(NodeId u) const { return assignment_[u]; }
+    void setPart(NodeId u, int p) { assignment_[u] = p; }
+
+    const std::vector<int> &assignment() const { return assignment_; }
+
+    /** Sum of weights of edges whose endpoints are in different parts. */
+    long long cutWeight(const Graph &g) const;
+
+    /** Number of cut edges (each cut edge = one connector pair). */
+    int numCutEdges(const Graph &g) const;
+
+    /** Node-weight of each part. */
+    std::vector<long long> partWeights(const Graph &g) const;
+
+    /**
+     * Imbalance factor: max part weight divided by the ideal weight
+     * ceil(totalWeight / k). 1.0 means perfectly balanced.
+     */
+    double imbalance(const Graph &g) const;
+
+    /** Nodes of each part, in increasing node order. */
+    std::vector<std::vector<NodeId>> partMembers() const;
+
+  private:
+    std::vector<int> assignment_;
+    int k_ = 1;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_PARTITION_PARTITIONING_HH

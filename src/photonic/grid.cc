@@ -1,0 +1,17 @@
+#include "photonic/grid.hh"
+
+#include <cmath>
+
+namespace dcmbqc
+{
+
+int
+gridSizeForQubits(int num_qubits)
+{
+    const int root =
+        static_cast<int>(std::ceil(std::sqrt(static_cast<double>(
+            num_qubits < 1 ? 1 : num_qubits))));
+    return 2 * root - 1;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The 3D (2D-spatial + 1D-temporal) logical resource grid that the
+ * single-QPU compiler maps computation graphs onto (Section II-C):
+ * each execution layer is an L x L grid of logical resource-state
+ * slots, one per RSG.
+ */
+
+#ifndef DCMBQC_PHOTONIC_GRID_HH
+#define DCMBQC_PHOTONIC_GRID_HH
+
+#include "common/types.hh"
+#include "photonic/resource_state.hh"
+
+namespace dcmbqc
+{
+
+/** A 2D position on an execution layer's RSG grid. */
+struct GridPos
+{
+    int x = -1;
+    int y = -1;
+
+    bool operator==(const GridPos &other) const
+    {
+        return x == other.x && y == other.y;
+    }
+};
+
+/** Static description of one QPU's resource grid. */
+struct GridSpec
+{
+    /** Side length of the square RSG array. */
+    int size = 7;
+
+    /** Resource state emitted by every RSG each cycle. */
+    ResourceStateType resourceState = ResourceStateType::Star5;
+
+    /**
+     * Physical-to-logical layer ratio: the number of physical clock
+     * cycles needed to realize one reliable logical execution layer.
+     * OnePerc found it stabilizes around a constant on probabilistic
+     * fusion hardware (Section II-C); all lifetime / execution-time
+     * metrics are reported in physical cycles.
+     */
+    int plRatio = 4;
+
+    /**
+     * Boundary reservation in cells per side (used to model
+     * communication interfaces for the OneAdapt comparison in
+     * Section V-C; 0 means the full grid is computational).
+     */
+    int reservedBoundary = 0;
+
+    /** Number of usable cells per layer. */
+    int usableCells() const
+    {
+        const int usable = size - 2 * reservedBoundary;
+        return usable > 0 ? usable * usable : 0;
+    }
+
+    /** Usable side length after boundary reservation. */
+    int usableSize() const
+    {
+        const int usable = size - 2 * reservedBoundary;
+        return usable > 0 ? usable : 0;
+    }
+
+    /** Linear index of a cell within the usable area. */
+    int cellIndex(int x, int y) const { return x * usableSize() + y; }
+};
+
+/**
+ * Grid side length used by the paper's benchmarks (Table II):
+ * L = 2 ceil(sqrt(q)) - 1, e.g. 16 qubits -> 7x7, 196 -> 27x27.
+ */
+int gridSizeForQubits(int num_qubits);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_PHOTONIC_GRID_HH

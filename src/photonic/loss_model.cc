@@ -1,0 +1,52 @@
+#include "photonic/loss_model.hh"
+
+#include <cmath>
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+/** Vacuum light speed in km per nanosecond (c = 299792.458 km/s). */
+constexpr double vacuumCKmPerNs = 299792.458 * 1e-9; // ~2.998e-4
+
+/** Convert fiber attenuation from dB/km to nepers (1/km). */
+double
+dbToNatural(double db_per_km)
+{
+    return db_per_km * std::log(10.0) / 10.0;
+}
+
+} // namespace
+
+double
+LossModel::storedDistanceKm(double cycles) const
+{
+    return cycles * cyclePeriodNs * speedFraction * vacuumCKmPerNs;
+}
+
+double
+LossModel::lossProbability(double cycles) const
+{
+    const double alpha = dbToNatural(attenuationDbPerKm);
+    return 1.0 - std::exp(-alpha * storedDistanceKm(cycles));
+}
+
+double
+LossModel::survivalProbability(double cycles) const
+{
+    return 1.0 - lossProbability(cycles);
+}
+
+double
+LossModel::maxCyclesForLossBudget(double budget) const
+{
+    const double alpha = dbToNatural(attenuationDbPerKm);
+    const double km_per_cycle =
+        cyclePeriodNs * speedFraction * vacuumCKmPerNs;
+    // 1 - e^{-alpha L} <= budget  =>  L <= -ln(1 - budget) / alpha.
+    return -std::log(1.0 - budget) / (alpha * km_per_cycle);
+}
+
+} // namespace dcmbqc

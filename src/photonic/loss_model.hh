@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Photon loss in fiber-optical delay lines (Figure 1 of the paper).
+ * A photon stored for `cycles` system clock cycles travels
+ * L = cycles * cycle_ns * (2/3) c through fiber and is lost with
+ * probability 1 - e^{-alpha L}, alpha = 0.2 dB/km in state-of-the-art
+ * fiber.
+ */
+
+#ifndef DCMBQC_PHOTONIC_LOSS_MODEL_HH
+#define DCMBQC_PHOTONIC_LOSS_MODEL_HH
+
+namespace dcmbqc
+{
+
+/** Parameters of the delay-line loss model. */
+struct LossModel
+{
+    /** Fiber attenuation in dB/km. */
+    double attenuationDbPerKm = 0.2;
+
+    /** Resource-state generation clock period in nanoseconds. */
+    double cyclePeriodNs = 1.0;
+
+    /** Light speed fraction in fiber (2/3 of vacuum c). */
+    double speedFraction = 2.0 / 3.0;
+
+    /** Distance traveled in km after storing for `cycles` cycles. */
+    double storedDistanceKm(double cycles) const;
+
+    /** Probability of losing the photon after `cycles` of storage. */
+    double lossProbability(double cycles) const;
+
+    /** Probability the photon survives `cycles` of storage. */
+    double survivalProbability(double cycles) const;
+
+    /**
+     * Maximum storage cycles such that the loss probability stays at
+     * or below `budget` (e.g. 0.05 gives ~5000 cycles at 1 ns/cycle,
+     * the OneQ assumption the paper quotes).
+     */
+    double maxCyclesForLossBudget(double budget) const;
+};
+
+/** Experimental fusion failure rate quoted in the paper [27]. */
+inline constexpr double experimentalFusionFailureRate = 0.29;
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_PHOTONIC_LOSS_MODEL_HH

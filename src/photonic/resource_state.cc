@@ -1,0 +1,43 @@
+#include "photonic/resource_state.hh"
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+const ResourceStateType allResourceStateTypes[4] = {
+    ResourceStateType::Ring4,
+    ResourceStateType::Star5,
+    ResourceStateType::Ring6,
+    ResourceStateType::Star7,
+};
+
+ResourceStateInfo
+resourceStateInfo(ResourceStateType type)
+{
+    switch (type) {
+      case ResourceStateType::Ring4:
+        return {type, 4, 3, 1};
+      case ResourceStateType::Star5:
+        return {type, 5, 4, 1};
+      case ResourceStateType::Ring6:
+        return {type, 6, 5, 2};
+      case ResourceStateType::Star7:
+        return {type, 7, 6, 1};
+    }
+    panic("unknown resource state type");
+}
+
+std::string
+ResourceStateInfo::name() const
+{
+    switch (type) {
+      case ResourceStateType::Ring4: return "4-ring";
+      case ResourceStateType::Star5: return "5-star";
+      case ResourceStateType::Ring6: return "6-ring";
+      case ResourceStateType::Star7: return "7-star";
+    }
+    return "?";
+}
+
+} // namespace dcmbqc

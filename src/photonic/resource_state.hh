@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Resource-state models (Figure 4a of the paper): the small,
+ * standardized entangled states each RSG emits every clock cycle.
+ * The compiler only depends on three abstract properties: how many
+ * photons the state has, how many fusion arms it offers to a hosted
+ * computation node, and how many independent routing pass-throughs
+ * it supports (the 6-ring supports two, Section V-B).
+ */
+
+#ifndef DCMBQC_PHOTONIC_RESOURCE_STATE_HH
+#define DCMBQC_PHOTONIC_RESOURCE_STATE_HH
+
+#include <string>
+
+namespace dcmbqc
+{
+
+/** The four resource-state shapes evaluated in Figure 7. */
+enum class ResourceStateType
+{
+    Ring4,
+    Star5,
+    Ring6,
+    Star7,
+};
+
+/** Compiler-facing properties of a resource state. */
+struct ResourceStateInfo
+{
+    ResourceStateType type;
+
+    /** Photons per state (4, 5, 6, 7). */
+    int numPhotons;
+
+    /**
+     * Fusion arms available when the state hosts one computation
+     * node: star states keep the center as the logical qubit and
+     * offer every leaf; ring states keep one ring photon and offer
+     * the rest.
+     */
+    int fusionArms;
+
+    /**
+     * Independent routing pass-throughs one state supports when used
+     * purely for routing. A 6-ring yields two 2-qubit chains after
+     * removing a diagonal pair, so it routes twice (Section V-B).
+     */
+    int routingUses;
+
+    std::string name() const;
+};
+
+/** Look up the properties of a resource-state type. */
+ResourceStateInfo resourceStateInfo(ResourceStateType type);
+
+/** All four types, for sweeps (Figure 7). */
+extern const ResourceStateType allResourceStateTypes[4];
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_PHOTONIC_RESOURCE_STATE_HH

@@ -1,0 +1,74 @@
+#include "sim/loss_analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/lifetime.hh"
+
+namespace dcmbqc
+{
+
+LossAnalysis
+analyzeLoss(const Graph &fusee_edges, const Digraph &deps,
+            const std::vector<TimeSlot> &node_time,
+            const LossModel &model)
+{
+    const NodeId n = fusee_edges.numNodes();
+    LossAnalysis result;
+    result.storageCycles.assign(n, 0);
+
+    // Fusee storage: the earlier photon of each pair waits.
+    for (const auto &e : fusee_edges.edges()) {
+        const TimeSlot du = node_time[e.v] - node_time[e.u];
+        if (du > 0)
+            result.storageCycles[e.u] = std::max(
+                result.storageCycles[e.u], static_cast<int>(du));
+        else
+            result.storageCycles[e.v] = std::max(
+                result.storageCycles[e.v], static_cast<int>(-du));
+    }
+
+    // Measuree storage from Algorithm 1 Part 2.
+    const auto waits = measureeWaits(deps, node_time);
+    for (NodeId u = 0; u < n; ++u)
+        result.storageCycles[u] =
+            std::max(result.storageCycles[u], waits[u]);
+
+    double log_success = 0.0;
+    long long total = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        const int cycles = result.storageCycles[u];
+        result.maxStorageCycles =
+            std::max(result.maxStorageCycles, cycles);
+        total += cycles;
+        const double survival = model.survivalProbability(cycles);
+        DCMBQC_ASSERT(survival > 0.0, "photon certainly lost");
+        log_success += std::log(survival);
+    }
+    result.meanStorageCycles =
+        n > 0 ? static_cast<double>(total) / n : 0.0;
+    result.successProbability = std::exp(log_success);
+    return result;
+}
+
+double
+sampleSuccessProbability(const LossAnalysis &analysis,
+                         const LossModel &model, Rng &rng, int shots)
+{
+    DCMBQC_ASSERT(shots > 0, "need at least one shot");
+    int successes = 0;
+    for (int shot = 0; shot < shots; ++shot) {
+        bool survived = true;
+        for (int cycles : analysis.storageCycles) {
+            if (rng.bernoulli(model.lossProbability(cycles))) {
+                survived = false;
+                break;
+            }
+        }
+        successes += survived;
+    }
+    return static_cast<double>(successes) / shots;
+}
+
+} // namespace dcmbqc

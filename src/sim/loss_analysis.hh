@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Program-level photon-loss analysis: connects a compiled schedule's
+ * per-photon storage durations (the quantities Algorithm 1 maximizes
+ * over) with the delay-line loss model of Figure 1, yielding the
+ * probability that the whole program executes without losing any
+ * photon.
+ */
+
+#ifndef DCMBQC_SIM_LOSS_ANALYSIS_HH
+#define DCMBQC_SIM_LOSS_ANALYSIS_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "graph/digraph.hh"
+#include "graph/graph.hh"
+#include "photonic/loss_model.hh"
+
+namespace dcmbqc
+{
+
+/** Aggregate loss exposure of one compiled program. */
+struct LossAnalysis
+{
+    /** Storage duration (cycles) of every photon. */
+    std::vector<int> storageCycles;
+
+    /** Max storage = the required photon lifetime. */
+    int maxStorageCycles = 0;
+
+    /** Mean storage over all photons. */
+    double meanStorageCycles = 0.0;
+
+    /** Analytic probability that no photon is lost. */
+    double successProbability = 0.0;
+};
+
+/**
+ * Per-photon storage durations for a schedule.
+ *
+ * A photon is stored while waiting for fusion partners generated on
+ * later layers (max positive time difference over incident fusee
+ * edges) and while waiting for its measurement basis (the MTime
+ * recurrence of Algorithm 1); its storage is the maximum of the two.
+ *
+ * @param fusee_edges Fusion pairs to charge (global node ids).
+ * @param deps Real-time dependency graph.
+ * @param node_time Generation cycle of each photon.
+ * @param model Delay-line loss model.
+ */
+LossAnalysis analyzeLoss(const Graph &fusee_edges, const Digraph &deps,
+                         const std::vector<TimeSlot> &node_time,
+                         const LossModel &model);
+
+/**
+ * Monte-Carlo estimate of the success probability (each photon
+ * independently survives its storage with the model's probability);
+ * converges to LossAnalysis::successProbability and exists to
+ * cross-check the analytic product and to support future correlated
+ * loss models.
+ */
+double sampleSuccessProbability(const LossAnalysis &analysis,
+                                const LossModel &model, Rng &rng,
+                                int shots = 2000);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_SIM_LOSS_ANALYSIS_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Aaronson-Gottesman stabilizer tableau simulator. Scales to
+ * thousands of qubits for Clifford circuits; the tests use it to
+ * verify graph-state stabilizers K_i = X_i prod_{j in N(i)} Z_j
+ * (Section II-A) and the removee property (a Z-basis measurement
+ * detaches a node from the graph state up to Z byproducts on its
+ * neighbors, Section II-B).
+ */
+
+#ifndef DCMBQC_SIM_STABILIZER_HH
+#define DCMBQC_SIM_STABILIZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "graph/graph.hh"
+
+namespace dcmbqc
+{
+
+/** A Pauli operator on n qubits with a +/- sign. */
+struct PauliString
+{
+    /** xBits[q] / zBits[q]: 1 when the operator has X / Z on q. */
+    std::vector<std::uint8_t> xBits;
+    std::vector<std::uint8_t> zBits;
+
+    /** True for a leading minus sign. */
+    bool negative = false;
+
+    explicit PauliString(int num_qubits)
+        : xBits(num_qubits, 0), zBits(num_qubits, 0)
+    {
+    }
+
+    PauliString &withX(int q) { xBits[q] = 1; return *this; }
+    PauliString &withZ(int q) { zBits[q] = 1; return *this; }
+    PauliString &withY(int q)
+    {
+        xBits[q] = 1;
+        zBits[q] = 1;
+        return *this;
+    }
+    PauliString &withSign(bool minus) { negative = minus; return *this; }
+};
+
+/** Result of a Z-basis measurement in the tableau. */
+struct StabMeasureResult
+{
+    int outcome;
+    bool deterministic;
+};
+
+/**
+ * Stabilizer state on n qubits, initialized to |0...0>.
+ */
+class StabilizerSim
+{
+  public:
+    explicit StabilizerSim(int num_qubits);
+
+    int numQubits() const { return n_; }
+
+    void applyH(int q);
+    void applyS(int q);
+    void applySdg(int q);
+    void applyX(int q);
+    void applyZ(int q);
+    void applyCNOT(int control, int target);
+    void applyCZ(int a, int b);
+
+    /** Measure qubit q in the Z basis. */
+    StabMeasureResult measureZ(int q, Rng &rng);
+
+    /** Measure qubit q in the X basis (H conjugation). */
+    StabMeasureResult measureX(int q, Rng &rng);
+
+    /**
+     * Check whether the signed Pauli operator stabilizes the state
+     * (P|psi> = +|psi>, including the sign in `p`).
+     */
+    bool isStabilizer(const PauliString &p) const;
+
+    /**
+     * Prepare a graph state on this register: H on every qubit of
+     * the graph, then CZ per edge. The register must have at least
+     * g.numNodes() qubits and be freshly |0...0>.
+     */
+    void prepareGraphState(const Graph &g);
+
+    /** The canonical graph-state stabilizer K_i of graph g. */
+    static PauliString graphStabilizer(const Graph &g, NodeId i);
+
+  private:
+    // Tableau rows 0..n-1: destabilizers; n..2n-1: stabilizers;
+    // row 2n: scratch. Bits packed per qubit (uint8 for clarity).
+    int n_;
+    std::vector<std::vector<std::uint8_t>> x_;
+    std::vector<std::vector<std::uint8_t>> z_;
+    std::vector<std::uint8_t> r_; ///< phase bit per row (1 = minus)
+
+    /** AG rowsum: row h *= row i with phase tracking. */
+    void rowsum(int h, int i);
+
+    /** Phase-exponent contribution g(x1,z1,x2,z2) from AG. */
+    static int phaseG(int x1, int z1, int x2, int z2);
+
+    /** Symplectic product of row i with an external Pauli. */
+    int anticommutes(int row, const PauliString &p) const;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_SIM_STABILIZER_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for BDIR (Algorithm 3): the neighborhood generator always
+ * produces feasible schedules, the SA loop never returns something
+ * worse than its input, and it fixes planted bottlenecks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/bdir.hh"
+#include "core/list_scheduler.hh"
+
+namespace dcmbqc
+{
+namespace
+{
+
+/** 2-QPU instance with an adversarial sync between distant layers. */
+LayerSchedulingProblem
+bottleneckInstance()
+{
+    std::vector<MainTask> mains;
+    for (int j = 0; j < 12; ++j)
+        mains.push_back({0, j, {static_cast<NodeId>(j)}});
+    for (int j = 0; j < 12; ++j)
+        mains.push_back({1, j, {static_cast<NodeId>(12 + j)}});
+
+    std::vector<SyncTask> syncs;
+    // Sync between QPU0 layer 1 and QPU1 layer 10: any slot is far
+    // from one of them unless the schedule shifts the layers.
+    syncs.push_back({1, 22, 1, 22});
+    // A benign nearby sync.
+    syncs.push_back({5, 17, 5, 17});
+
+    Graph local(24);
+    // Fusee pair within QPU0 spanning layers 0 and 11.
+    local.addEdge(0, 11);
+    Digraph deps(24);
+    return LayerSchedulingProblem(std::move(mains), std::move(syncs),
+                                  std::move(local), std::move(deps), 2,
+                                  4);
+}
+
+TEST(Bdir, NeighborIsAlwaysFeasible)
+{
+    const auto lsp = bottleneckInstance();
+    Schedule current = listScheduleDefault(lsp);
+    for (int i = 0; i < 10; ++i) {
+        current = generateNeighbor(lsp, current);
+        std::string why;
+        ASSERT_TRUE(validateSchedule(lsp, current, &why)) << why;
+    }
+}
+
+TEST(Bdir, NeverWorseThanInitial)
+{
+    const auto lsp = bottleneckInstance();
+    const auto initial = listScheduleDefault(lsp);
+    const int before = evaluateSchedule(lsp, initial).tauPhoton();
+
+    BdirStats stats;
+    const auto optimized = bdirOptimize(lsp, initial, {}, &stats);
+    const int after = evaluateSchedule(lsp, optimized).tauPhoton();
+
+    EXPECT_LE(after, before);
+    EXPECT_EQ(stats.initialLifetime, before);
+    EXPECT_EQ(stats.finalLifetime, after);
+    EXPECT_TRUE(validateSchedule(lsp, optimized));
+}
+
+TEST(Bdir, StatsAreConsistent)
+{
+    const auto lsp = bottleneckInstance();
+    const auto initial = listScheduleDefault(lsp);
+    BdirConfig config;
+    config.maxIterations = 15;
+    BdirStats stats;
+    bdirOptimize(lsp, initial, config, &stats);
+    EXPECT_EQ(stats.iterations, 15);
+    EXPECT_GE(stats.acceptedMoves, 0);
+    EXPECT_LE(stats.acceptedMoves, 15);
+    EXPECT_LE(stats.improvedMoves, stats.acceptedMoves);
+}
+
+TEST(Bdir, ImprovesPlantedRemoteBottleneck)
+{
+    // A hand-built schedule with the sync at a terrible slot: BDIR
+    // must find the balance point.
+    std::vector<MainTask> mains;
+    mains.push_back({0, 0, {0}});
+    mains.push_back({1, 0, {1}});
+    std::vector<SyncTask> syncs;
+    syncs.push_back({0, 1, 0, 1});
+    Graph local(2);
+    Digraph deps(2);
+    LayerSchedulingProblem lsp(std::move(mains), std::move(syncs),
+                               std::move(local), std::move(deps), 2, 4);
+
+    Schedule bad;
+    bad.mainStart = {0, 0};
+    bad.syncStart = {20};
+    bad.makespan = 21;
+    ASSERT_TRUE(validateSchedule(lsp, bad));
+    EXPECT_EQ(evaluateSchedule(lsp, bad).tauRemote, 20);
+
+    const auto fixed = bdirOptimize(lsp, bad);
+    EXPECT_LE(evaluateSchedule(lsp, fixed).tauPhoton(), 2);
+}
+
+TEST(Bdir, DeterministicForSeed)
+{
+    const auto lsp = bottleneckInstance();
+    const auto initial = listScheduleDefault(lsp);
+    BdirConfig config;
+    config.seed = 123;
+    const auto a = bdirOptimize(lsp, initial, config);
+    const auto b = bdirOptimize(lsp, initial, config);
+    EXPECT_EQ(a.mainStart, b.mainStart);
+    EXPECT_EQ(a.syncStart, b.syncStart);
+}
+
+TEST(Bdir, HandlesInstanceWithoutSyncs)
+{
+    std::vector<MainTask> mains;
+    for (int j = 0; j < 6; ++j)
+        mains.push_back({0, j, {static_cast<NodeId>(j)}});
+    Graph local(6);
+    local.addEdge(0, 5);
+    Digraph deps(6);
+    LayerSchedulingProblem lsp(std::move(mains), {}, std::move(local),
+                               std::move(deps), 1, 4);
+    const auto initial = listScheduleDefault(lsp);
+    const auto out = bdirOptimize(lsp, initial);
+    EXPECT_TRUE(validateSchedule(lsp, out));
+}
+
+} // namespace
+} // namespace dcmbqc

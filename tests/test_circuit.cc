@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the circuit IR and the four benchmark generators,
+ * including the Table II gate-count identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hh"
+#include "circuit/generators.hh"
+
+namespace dcmbqc
+{
+namespace
+{
+
+TEST(Circuit, BuilderAndCounts)
+{
+    Circuit c(3, "demo");
+    c.h(0);
+    c.cnot(0, 1);
+    c.rz(2, 0.5);
+    c.ccx(0, 1, 2);
+    EXPECT_EQ(c.numGates(), 4u);
+    EXPECT_EQ(c.numTwoQubitGates(), 2u); // CNOT + CCX
+    EXPECT_EQ(c.gates()[1].arity(), 2);
+    EXPECT_EQ(c.gates()[3].arity(), 3);
+}
+
+TEST(Circuit, DepthDisjointGatesOverlap)
+{
+    Circuit c(4);
+    c.h(0);
+    c.h(1);
+    c.h(2);
+    c.h(3);
+    EXPECT_EQ(c.depth(), 1);
+    c.cnot(0, 1);
+    c.cnot(2, 3);
+    EXPECT_EQ(c.depth(), 2);
+    c.cnot(1, 2);
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, GateToString)
+{
+    Gate g{GateKind::CNOT, 3, 4};
+    EXPECT_EQ(g.toString(), "cnot q3, q4");
+    Gate rz{GateKind::RZ, 1, -1, -1, 0.25};
+    EXPECT_NE(rz.toString().find("rz q1"), std::string::npos);
+}
+
+TEST(Generators, QftGateCountMatchesTable2)
+{
+    // Table II: QFT-16 has 120 2-qubit gates = n(n-1)/2.
+    for (int n : {4, 16, 36}) {
+        const auto c = makeQft(n);
+        EXPECT_EQ(c.numQubits(), n);
+        EXPECT_EQ(c.numTwoQubitGates(),
+                  static_cast<std::size_t>(n * (n - 1) / 2));
+    }
+}
+
+TEST(Generators, QftStructure)
+{
+    const auto c = makeQft(3);
+    // H q0; cp(1,0); cp(2,0); H q1; cp(2,1); H q2.
+    ASSERT_EQ(c.numGates(), 6u);
+    EXPECT_EQ(c.gates()[0].kind, GateKind::H);
+    EXPECT_EQ(c.gates()[1].kind, GateKind::CP);
+    EXPECT_NEAR(c.gates()[1].angle, 3.14159265 / 2, 1e-6);
+}
+
+TEST(Generators, QaoaSelectsHalfOfAllPairs)
+{
+    const auto c = makeQaoaMaxcut(16, 7);
+    // Section V-A: half of all possible edges; each edge is one RZZ.
+    EXPECT_EQ(c.numTwoQubitGates(),
+              static_cast<std::size_t>(16 * 15 / 2 / 2));
+}
+
+TEST(Generators, QaoaSeedChangesInstance)
+{
+    const auto a = makeQaoaMaxcut(12, 1);
+    const auto b = makeQaoaMaxcut(12, 2);
+    bool different = a.numGates() != b.numGates();
+    if (!different) {
+        for (std::size_t i = 0; i < a.numGates(); ++i) {
+            const auto &ga = a.gates()[i];
+            const auto &gb = b.gates()[i];
+            if (ga.kind != gb.kind || ga.q0 != gb.q0 ||
+                ga.q1 != gb.q1 || ga.angle != gb.angle) {
+                different = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(different);
+}
+
+TEST(Generators, VqeQuadraticEntangler)
+{
+    // Paper: CNOT between every qubit pair -> quadratic 2q count.
+    const auto c = makeVqe(16);
+    EXPECT_EQ(c.numTwoQubitGates(),
+              static_cast<std::size_t>(16 * 15 / 2));
+    const auto c2 = makeVqe(16, 2);
+    EXPECT_EQ(c2.numTwoQubitGates(),
+              static_cast<std::size_t>(2 * 16 * 15 / 2));
+}
+
+TEST(Generators, RcaUsesExpectedQubits)
+{
+    const auto c = makeRippleCarryAdder(16);
+    EXPECT_EQ(c.numQubits(), 16);
+    // Cuccaro: width 7 operands -> MAJ/UMA blocks with CCX.
+    std::size_t ccx = 0;
+    for (const auto &g : c.gates())
+        ccx += g.kind == GateKind::CCX;
+    EXPECT_EQ(ccx, 14u); // 7 MAJ + 7 UMA
+}
+
+TEST(Generators, RcaTwoQubitCountGrowsLinearly)
+{
+    const auto a = makeRippleCarryAdder(16);
+    const auto b = makeRippleCarryAdder(36);
+    EXPECT_GT(b.numTwoQubitGates(), 2 * a.numTwoQubitGates());
+    EXPECT_LT(b.numTwoQubitGates(), 4 * a.numTwoQubitGates());
+}
+
+TEST(Generators, RandomCircuitRespectsGateBudget)
+{
+    const auto c = makeRandomCircuit(5, 40, 3);
+    EXPECT_EQ(c.numGates(), 40u);
+    EXPECT_EQ(c.numQubits(), 5);
+}
+
+} // namespace
+} // namespace dcmbqc

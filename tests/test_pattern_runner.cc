@@ -1,0 +1,163 @@
+/**
+ * @file
+ * End-to-end MBQC semantics validation: executing a compiled
+ * measurement pattern with adaptive measurements must reproduce the
+ * original circuit's output state (on |+>^n inputs) exactly, up to
+ * global phase, for every random branch of measurement outcomes.
+ * This is the strongest correctness property of the whole MBQC
+ * front-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hh"
+#include "circuit/generators.hh"
+#include "common/rng.hh"
+#include "mbqc/pattern_builder.hh"
+#include "sim/pattern_runner.hh"
+#include "sim/statevector.hh"
+
+namespace dcmbqc
+{
+namespace
+{
+
+/** Reference: circuit applied to |+...+>. */
+StateVector
+circuitReference(const Circuit &circuit)
+{
+    StateVector state(circuit.numQubits(), /*plus_basis=*/true);
+    state.applyCircuit(circuit);
+    return state;
+}
+
+/** Run the pattern several times with random outcomes and compare. */
+void
+expectPatternMatchesCircuit(const Circuit &circuit, int repeats = 4)
+{
+    const auto pattern = buildPattern(circuit);
+    const auto reference = circuitReference(circuit);
+    for (int rep = 0; rep < repeats; ++rep) {
+        Rng rng(1000 + rep);
+        const auto run = runPattern(pattern, rng);
+        ASSERT_EQ(run.outputState.numQubits(), circuit.numQubits());
+        EXPECT_NEAR(StateVector::fidelity(run.outputState, reference),
+                    1.0, 1e-9)
+            << circuit.name() << " repeat " << rep;
+    }
+}
+
+TEST(PatternRunner, SingleHadamard)
+{
+    Circuit c(1, "h");
+    c.h(0);
+    expectPatternMatchesCircuit(c);
+}
+
+TEST(PatternRunner, SingleRotations)
+{
+    Circuit c(1, "rots");
+    c.rz(0, 0.7);
+    c.rx(0, -1.1);
+    c.ry(0, 2.3);
+    c.t(0);
+    expectPatternMatchesCircuit(c, 6);
+}
+
+TEST(PatternRunner, BareCz)
+{
+    Circuit c(2, "cz");
+    c.cz(0, 1);
+    expectPatternMatchesCircuit(c);
+}
+
+TEST(PatternRunner, CnotEntangles)
+{
+    Circuit c(2, "cnot");
+    c.cnot(0, 1);
+    expectPatternMatchesCircuit(c, 6);
+}
+
+TEST(PatternRunner, TwoQubitMix)
+{
+    Circuit c(2, "mix");
+    c.h(0);
+    c.cnot(0, 1);
+    c.rz(1, 0.9);
+    c.cnot(0, 1);
+    c.rx(0, 1.7);
+    expectPatternMatchesCircuit(c, 6);
+}
+
+TEST(PatternRunner, QftSmall)
+{
+    expectPatternMatchesCircuit(makeQft(3));
+    expectPatternMatchesCircuit(makeQft(4));
+}
+
+TEST(PatternRunner, QaoaSmall)
+{
+    expectPatternMatchesCircuit(makeQaoaMaxcut(4, 5));
+    expectPatternMatchesCircuit(makeQaoaMaxcut(5, 6));
+}
+
+TEST(PatternRunner, VqeSmall)
+{
+    expectPatternMatchesCircuit(makeVqe(3));
+    expectPatternMatchesCircuit(makeVqe(4));
+}
+
+TEST(PatternRunner, RcaSmall)
+{
+    expectPatternMatchesCircuit(makeRippleCarryAdder(6));
+}
+
+TEST(PatternRunner, RandomCircuits)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto c = makeRandomCircuit(3, 25, seed);
+        expectPatternMatchesCircuit(c, 2);
+    }
+}
+
+TEST(PatternRunner, PeakWidthStaysNearCircuitWidth)
+{
+    // Lazy allocation keeps the live register near the wire count
+    // even though the pattern has hundreds of nodes.
+    const auto c = makeQft(4);
+    const auto pattern = buildPattern(c);
+    Rng rng(3);
+    const auto run = runPattern(pattern, rng);
+    EXPECT_GT(pattern.numNodes(), 50);
+    EXPECT_LE(run.peakWidth, c.numQubits() + 2);
+}
+
+TEST(PatternRunner, OutcomesRecordedForAllMeasured)
+{
+    const auto pattern = buildPattern(makeQft(3));
+    Rng rng(5);
+    const auto run = runPattern(pattern, rng);
+    for (NodeId m : pattern.measurementOrder()) {
+        EXPECT_TRUE(run.outcomes[m] == 0 || run.outcomes[m] == 1);
+    }
+    for (NodeId out : pattern.outputs())
+        EXPECT_EQ(run.outcomes[out], -1);
+}
+
+TEST(PatternRunner, ByproductsReportedWhenNotApplied)
+{
+    const auto pattern = buildPattern(makeQft(3));
+    // Find a random branch with a nontrivial byproduct.
+    bool saw_byproduct = false;
+    for (int rep = 0; rep < 10 && !saw_byproduct; ++rep) {
+        Rng rng(50 + rep);
+        const auto run = runPattern(pattern, rng,
+                                    /*apply_byproducts=*/false);
+        for (std::size_t w = 0; w < run.outputXParity.size(); ++w)
+            saw_byproduct |= run.outputXParity[w] || run.outputZParity[w];
+    }
+    EXPECT_TRUE(saw_byproduct);
+}
+
+} // namespace
+} // namespace dcmbqc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the photonic hardware model: resource-state properties,
+ * the Figure 1 photon-loss anchor points, and the grid sizing rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "photonic/grid.hh"
+#include "photonic/loss_model.hh"
+#include "photonic/resource_state.hh"
+
+namespace dcmbqc
+{
+namespace
+{
+
+TEST(ResourceState, Properties)
+{
+    const auto r4 = resourceStateInfo(ResourceStateType::Ring4);
+    EXPECT_EQ(r4.numPhotons, 4);
+    EXPECT_EQ(r4.fusionArms, 3);
+    EXPECT_EQ(r4.routingUses, 1);
+    EXPECT_EQ(r4.name(), "4-ring");
+
+    const auto s5 = resourceStateInfo(ResourceStateType::Star5);
+    EXPECT_EQ(s5.numPhotons, 5);
+    EXPECT_EQ(s5.fusionArms, 4);
+    EXPECT_EQ(s5.name(), "5-star");
+
+    // Section V-B: the 6-ring routes twice.
+    const auto r6 = resourceStateInfo(ResourceStateType::Ring6);
+    EXPECT_EQ(r6.routingUses, 2);
+
+    const auto s7 = resourceStateInfo(ResourceStateType::Star7);
+    EXPECT_EQ(s7.fusionArms, 6);
+}
+
+TEST(ResourceState, AllTypesEnumerated)
+{
+    int photons = 0;
+    for (auto type : allResourceStateTypes)
+        photons += resourceStateInfo(type).numPhotons;
+    EXPECT_EQ(photons, 4 + 5 + 6 + 7);
+}
+
+TEST(LossModel, Figure1AnchorPoints)
+{
+    // Paper Figure 1: at 5000 cycles, ~5% loss at 1 ns/cycle, 36.9%
+    // at 10 ns/cycle, ~99% at 100 ns/cycle (alpha = 0.2 dB/km,
+    // 2/3 c).
+    LossModel m1{0.2, 1.0};
+    EXPECT_NEAR(m1.lossProbability(5000), 0.045, 0.01);
+
+    LossModel m10{0.2, 10.0};
+    EXPECT_NEAR(m10.lossProbability(5000), 0.369, 0.01);
+
+    LossModel m100{0.2, 100.0};
+    EXPECT_GT(m100.lossProbability(5000), 0.98);
+}
+
+TEST(LossModel, DistanceScalesLinearly)
+{
+    LossModel m{0.2, 1.0};
+    EXPECT_NEAR(m.storedDistanceKm(5000), 1.0, 0.01); // ~1 km
+    EXPECT_NEAR(m.storedDistanceKm(10000),
+                2 * m.storedDistanceKm(5000), 1e-9);
+}
+
+TEST(LossModel, SurvivalComplements)
+{
+    LossModel m{0.2, 10.0};
+    for (double cycles : {100.0, 1000.0, 20000.0})
+        EXPECT_NEAR(m.lossProbability(cycles) +
+                        m.survivalProbability(cycles),
+                    1.0, 1e-12);
+}
+
+TEST(LossModel, MaxCyclesInvertsLoss)
+{
+    LossModel m{0.2, 1.0};
+    const double cap = m.maxCyclesForLossBudget(0.05);
+    EXPECT_NEAR(m.lossProbability(cap), 0.05, 1e-9);
+    // The paper quotes ~5000 cycles at ~5% for 1 ns cycles.
+    EXPECT_GT(cap, 4000);
+    EXPECT_LT(cap, 7000);
+}
+
+TEST(LossModel, MonotoneInCycleTime)
+{
+    LossModel fast{0.2, 1.0};
+    LossModel slow{0.2, 100.0};
+    EXPECT_LT(fast.lossProbability(1000), slow.lossProbability(1000));
+}
+
+TEST(Grid, SizeForQubitsMatchesTable2)
+{
+    // Table II pairs: 16->7, 36->11, 81->17, 144->23, 64->15,
+    // 121->21, 196->27, 100->19.
+    EXPECT_EQ(gridSizeForQubits(16), 7);
+    EXPECT_EQ(gridSizeForQubits(36), 11);
+    EXPECT_EQ(gridSizeForQubits(81), 17);
+    EXPECT_EQ(gridSizeForQubits(144), 23);
+    EXPECT_EQ(gridSizeForQubits(64), 15);
+    EXPECT_EQ(gridSizeForQubits(121), 21);
+    EXPECT_EQ(gridSizeForQubits(196), 27);
+    EXPECT_EQ(gridSizeForQubits(100), 19);
+    EXPECT_EQ(gridSizeForQubits(25), 9);
+}
+
+TEST(Grid, BoundaryReservation)
+{
+    GridSpec spec;
+    spec.size = 7;
+    EXPECT_EQ(spec.usableSize(), 7);
+    EXPECT_EQ(spec.usableCells(), 49);
+    spec.reservedBoundary = 1;
+    EXPECT_EQ(spec.usableSize(), 5);
+    EXPECT_EQ(spec.usableCells(), 25);
+    spec.reservedBoundary = 4;
+    EXPECT_EQ(spec.usableCells(), 0);
+}
+
+} // namespace
+} // namespace dcmbqc

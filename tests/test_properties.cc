@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Parameterized property sweeps across the configuration space:
+ * for every (family, qubit count, QPU count, resource state) cell,
+ * the full pipeline must produce a feasible schedule whose reported
+ * metrics satisfy the framework's invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hh"
+#include "core/list_scheduler.hh"
+#include "core/pipeline.hh"
+#include "mbqc/dependency.hh"
+#include "mbqc/pattern_builder.hh"
+#include "photonic/grid.hh"
+
+namespace dcmbqc
+{
+namespace
+{
+
+enum class Fam { Vqe, Qaoa, Qft, Rca };
+
+Circuit
+make(Fam f, int q)
+{
+    switch (f) {
+      case Fam::Vqe: return makeVqe(q);
+      case Fam::Qaoa: return makeQaoaMaxcut(q, 7);
+      case Fam::Qft: return makeQft(q);
+      default: return makeRippleCarryAdder(q);
+    }
+}
+
+using Cell = std::tuple<Fam, int, int, ResourceStateType>;
+
+class PipelineSweep : public ::testing::TestWithParam<Cell>
+{
+};
+
+TEST_P(PipelineSweep, ScheduleFeasibleAndMetricsCoherent)
+{
+    const auto [family, qubits, qpus, rstype] = GetParam();
+    const auto pattern = buildPattern(make(family, qubits));
+    const auto deps = realTimeDependencyGraph(pattern);
+
+    DcMbqcConfig config;
+    config.numQpus = qpus;
+    config.grid.size = gridSizeForQubits(qubits);
+    config.grid.resourceState = rstype;
+    DcMbqcCompiler compiler(config);
+    const auto result = compiler.compile(pattern.graph(), deps);
+
+    // Feasibility of the final schedule.
+    const auto lsp =
+        compiler.buildLsp(pattern.graph(), deps, result.partition);
+    std::string why;
+    ASSERT_TRUE(validateSchedule(lsp, result.schedule, &why)) << why;
+
+    // Partition covers all nodes within the requested part range.
+    for (NodeId u = 0; u < pattern.numNodes(); ++u) {
+        ASSERT_GE(result.partition.part(u), 0);
+        ASSERT_LT(result.partition.part(u), qpus);
+    }
+
+    // Metric coherence.
+    EXPECT_GE(result.executionTime(), 1);
+    EXPECT_EQ(result.requiredLifetime(),
+              std::max(result.metrics.tauLocal,
+                       result.metrics.tauRemote));
+    EXPECT_LE(result.requiredLifetime(),
+              2 * result.metrics.makespan);
+    EXPECT_EQ(result.numConnectors,
+              result.partition.numCutEdges(pattern.graph()));
+    // Release times were honored: no main task runs before its
+    // dependency chains can resolve.
+    for (std::size_t task = 0; task < lsp.mainTasks().size(); ++task)
+        EXPECT_GE(result.schedule.mainStart[task],
+                  lsp.mainRelease(static_cast<int>(task)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PipelineSweep,
+    ::testing::Combine(
+        ::testing::Values(Fam::Vqe, Fam::Qaoa, Fam::Qft, Fam::Rca),
+        ::testing::Values(9, 16),
+        ::testing::Values(2, 4, 8),
+        ::testing::Values(ResourceStateType::Ring4,
+                          ResourceStateType::Star7)));
+
+class BaselineSweep : public ::testing::TestWithParam<
+                          std::tuple<Fam, int, ResourceStateType>>
+{
+};
+
+TEST_P(BaselineSweep, PlacementInvariants)
+{
+    const auto [family, qubits, rstype] = GetParam();
+    const auto pattern = buildPattern(make(family, qubits));
+    const auto deps = realTimeDependencyGraph(pattern);
+
+    SingleQpuConfig config;
+    config.grid.size = gridSizeForQubits(qubits);
+    config.grid.resourceState = rstype;
+    const auto result =
+        compileBaseline(pattern.graph(), deps, config);
+
+    // Every node placed exactly once, layers consistent.
+    std::vector<int> count(pattern.numNodes(), 0);
+    for (std::size_t t = 0; t < result.schedule.layers.size(); ++t) {
+        const auto &layer = result.schedule.layers[t];
+        const int capacity = config.grid.usableCells();
+        EXPECT_LE(layer.computeCells + layer.routingCells, capacity);
+        for (NodeId u : layer.nodes) {
+            ++count[u];
+            EXPECT_EQ(result.schedule.nodeLayer[u],
+                      static_cast<LayerId>(t));
+        }
+    }
+    for (NodeId u = 0; u < pattern.numNodes(); ++u)
+        EXPECT_EQ(count[u], 1) << u;
+
+    // Lifetime parts are non-negative and bounded by the horizon.
+    EXPECT_GE(result.lifetime.tauFusee, 0);
+    EXPECT_GE(result.lifetime.tauMeasuree, 1);
+    EXPECT_LE(result.lifetime.tauFusee, result.executionTime());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BaselineSweep,
+    ::testing::Combine(
+        ::testing::Values(Fam::Vqe, Fam::Qaoa, Fam::Qft, Fam::Rca),
+        ::testing::Values(9, 16, 25),
+        ::testing::Values(ResourceStateType::Ring4,
+                          ResourceStateType::Star5,
+                          ResourceStateType::Ring6,
+                          ResourceStateType::Star7)));
+
+} // namespace
+} // namespace dcmbqc

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Exactness tests for the gate lowering: every decomposition in
+ * lowerGate() and the final {CZ, J(alpha)} lowering must agree with
+ * the exact gate unitary up to global phase, on random input states.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hh"
+#include "circuit/generators.hh"
+#include "circuit/transpile.hh"
+#include "common/rng.hh"
+#include "sim/statevector.hh"
+
+namespace dcmbqc
+{
+namespace
+{
+
+constexpr double pi = 3.14159265358979323846;
+
+/** Apply a deterministic pseudo-random product-entangling prep. */
+void
+randomPrep(StateVector &state, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (int q = 0; q < n; ++q) {
+        state.applyRY(q, 2 * pi * rng.uniform());
+        state.applyRZ(q, 2 * pi * rng.uniform());
+    }
+    for (int q = 0; q + 1 < n; ++q)
+        state.applyCNOT(q, q + 1);
+}
+
+/** J(alpha) = H Rz(alpha) applied exactly. */
+void
+applyJ(StateVector &state, int q, double alpha)
+{
+    state.applyRZ(q, alpha);
+    state.applyH(q);
+}
+
+/** Fidelity between exact gate application and its lowering. */
+double
+loweringFidelity(const Gate &gate, int n, std::uint64_t seed)
+{
+    StateVector exact(n);
+    randomPrep(exact, n, seed);
+    StateVector lowered = exact;
+
+    exact.applyGate(gate);
+    for (const auto &g : lowerGate(gate))
+        lowered.applyGate(g);
+    return StateVector::fidelity(exact, lowered);
+}
+
+/** Fidelity between exact circuit and its {CZ, J} transpilation. */
+double
+transpileFidelity(const Circuit &circuit, std::uint64_t seed)
+{
+    StateVector exact(circuit.numQubits());
+    randomPrep(exact, circuit.numQubits(), seed);
+    StateVector lowered = exact;
+
+    exact.applyCircuit(circuit);
+    const auto jc = transpileToJCz(circuit);
+    for (const auto &op : jc.ops) {
+        if (op.kind == JOp::Kind::CZ)
+            lowered.applyCZ(op.q0, op.q1);
+        else
+            applyJ(lowered, op.q0, op.angle);
+    }
+    return StateVector::fidelity(exact, lowered);
+}
+
+class LowerGateTest
+    : public ::testing::TestWithParam<std::tuple<GateKind, double>>
+{
+};
+
+TEST_P(LowerGateTest, MatchesExactUnitary)
+{
+    const auto [kind, angle] = GetParam();
+    Gate gate{kind, 0, 1, 2, angle};
+    const int n = gate.arity();
+    for (std::uint64_t seed : {1ull, 2ull, 3ull})
+        EXPECT_NEAR(loweringFidelity(gate, n, seed), 1.0, 1e-9)
+            << gateKindName(kind) << " angle=" << angle;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, LowerGateTest,
+    ::testing::Values(
+        std::make_tuple(GateKind::H, 0.0),
+        std::make_tuple(GateKind::X, 0.0),
+        std::make_tuple(GateKind::Y, 0.0),
+        std::make_tuple(GateKind::Z, 0.0),
+        std::make_tuple(GateKind::S, 0.0),
+        std::make_tuple(GateKind::Sdg, 0.0),
+        std::make_tuple(GateKind::T, 0.0),
+        std::make_tuple(GateKind::Tdg, 0.0),
+        std::make_tuple(GateKind::RX, 0.7),
+        std::make_tuple(GateKind::RX, -2.1),
+        std::make_tuple(GateKind::RY, 1.3),
+        std::make_tuple(GateKind::RY, -0.4),
+        std::make_tuple(GateKind::RZ, 2.5),
+        std::make_tuple(GateKind::CZ, 0.0),
+        std::make_tuple(GateKind::CNOT, 0.0),
+        std::make_tuple(GateKind::CP, 0.9),
+        std::make_tuple(GateKind::CP, -1.7),
+        std::make_tuple(GateKind::RZZ, 1.1),
+        std::make_tuple(GateKind::RZZ, -0.6),
+        std::make_tuple(GateKind::SWAP, 0.0),
+        std::make_tuple(GateKind::CCX, 0.0)));
+
+TEST(Transpile, JIdentities)
+{
+    // Rz(t) = J(0) J(t) and Rx(t) = J(t) J(0), the two identities the
+    // emitter relies on.
+    for (double t : {0.3, -1.2, 2.9}) {
+        StateVector a(1);
+        randomPrep(a, 1, 5);
+        StateVector b = a;
+        a.applyRZ(0, t);
+        applyJ(b, 0, t);
+        applyJ(b, 0, 0.0);
+        EXPECT_NEAR(StateVector::fidelity(a, b), 1.0, 1e-10);
+
+        StateVector c(1);
+        randomPrep(c, 1, 6);
+        StateVector d = c;
+        c.applyRX(0, t);
+        applyJ(d, 0, 0.0);
+        applyJ(d, 0, t);
+        EXPECT_NEAR(StateVector::fidelity(c, d), 1.0, 1e-10);
+    }
+}
+
+TEST(Transpile, WholeCircuitsExact)
+{
+    EXPECT_NEAR(transpileFidelity(makeQft(4), 11), 1.0, 1e-9);
+    EXPECT_NEAR(transpileFidelity(makeQaoaMaxcut(5, 3), 12), 1.0, 1e-9);
+    EXPECT_NEAR(transpileFidelity(makeVqe(4), 13), 1.0, 1e-9);
+    EXPECT_NEAR(transpileFidelity(makeRippleCarryAdder(6), 14), 1.0,
+                1e-9);
+}
+
+TEST(Transpile, RandomCircuitsExact)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto c = makeRandomCircuit(4, 30, seed);
+        EXPECT_NEAR(transpileFidelity(c, seed * 31), 1.0, 1e-9)
+            << "seed " << seed;
+    }
+}
+
+TEST(Transpile, CountsAreConsistent)
+{
+    const auto c = makeQft(5);
+    const auto jc = transpileToJCz(c);
+    EXPECT_EQ(jc.numJ() + jc.numCz(), jc.ops.size());
+    // Every CP lowers to 2 CZ; QFT-5 has 10 CPs.
+    EXPECT_EQ(jc.numCz(), 20u);
+}
+
+TEST(Transpile, CuccaroAddsCorrectly)
+{
+    // End-to-end semantic check of the RCA benchmark: |a>|b> ->
+    // |a>|a+b>. Width 3 operands on 8 qubits.
+    const auto c = makeRippleCarryAdder(8);
+    const int width = 3;
+    for (const auto &[a, b] : std::vector<std::pair<int, int>>{
+             {0, 0}, {1, 2}, {3, 5}, {7, 7}, {4, 3}}) {
+        StateVector state(8);
+        // Layout: cin=q0, a_i at q(1+2i), b_i at q(2+2i), cout=q7.
+        for (int i = 0; i < width; ++i) {
+            if ((a >> i) & 1)
+                state.applyX(1 + 2 * i);
+            if ((b >> i) & 1)
+                state.applyX(2 + 2 * i);
+        }
+        state.applyCircuit(c);
+
+        // Decode the expected basis state.
+        const int sum = a + b;
+        std::size_t expect = 0;
+        for (int i = 0; i < width; ++i) {
+            if ((a >> i) & 1)
+                expect |= 1ull << (1 + 2 * i);
+            if ((sum >> i) & 1)
+                expect |= 1ull << (2 + 2 * i);
+        }
+        if ((sum >> width) & 1)
+            expect |= 1ull << 7;
+
+        EXPECT_NEAR(std::norm(state.amplitudes()[expect]), 1.0, 1e-9)
+            << a << "+" << b;
+    }
+}
+
+} // namespace
+} // namespace dcmbqc
