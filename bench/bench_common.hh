@@ -11,7 +11,9 @@
 #define DCMBQC_BENCH_COMMON_HH
 
 #include <string>
+#include <utility>
 
+#include "api/api.hh"
 #include "circuit/circuit.hh"
 #include "circuit/generators.hh"
 #include "common/logging.hh"
@@ -106,6 +108,42 @@ baselineConfig(int grid_size,
     return config;
 }
 
+/** Graph-entry compile request for a prepared program. */
+inline CompileRequest
+makeRequest(const Prepared &p)
+{
+    return CompileRequest::fromGraph(p.pattern.graph(), p.deps,
+                                     p.name);
+}
+
+/**
+ * Distributed compilation through the pass-based driver. Bench
+ * inputs are valid by construction, so any non-OK status indicates
+ * a harness bug and is fatal.
+ */
+inline DcMbqcResult
+compileDc(const Prepared &p, const DcMbqcConfig &config)
+{
+    const CompilerDriver driver(CompileOptions::fromConfig(config));
+    auto report = driver.compile(makeRequest(p));
+    if (!report.ok())
+        fatal("bench compile ", p.name, ": ",
+              report.status().toString());
+    return std::move(*report.value().distributed);
+}
+
+/** Monolithic baseline compilation through the driver. */
+inline BaselineResult
+compileBase(const Prepared &p, const SingleQpuConfig &config)
+{
+    const CompilerDriver driver(CompileOptions::fromConfig(config));
+    auto report = driver.compileBaseline(makeRequest(p));
+    if (!report.ok())
+        fatal("bench baseline ", p.name, ": ",
+              report.status().toString());
+    return std::move(*report.value().baseline);
+}
+
 /** One baseline-vs-DC comparison row. */
 struct ComparisonRow
 {
@@ -133,13 +171,12 @@ compareOnce(const Prepared &p, int qpus,
 {
     ComparisonRow row;
     row.program = p.name;
-    const auto baseline = compileBaseline(
-        p.pattern.graph(), p.deps, baselineConfig(p.gridSize, type));
+    const auto baseline =
+        compileBase(p, baselineConfig(p.gridSize, type));
     row.baselineExec = baseline.executionTime();
     row.baselineLifetime = baseline.requiredLifetime();
 
-    DcMbqcCompiler compiler(paperConfig(qpus, p.gridSize, type));
-    const auto dc = compiler.compile(p.pattern.graph(), p.deps);
+    const auto dc = compileDc(p, paperConfig(qpus, p.gridSize, type));
     row.dcExec = dc.executionTime();
     row.dcLifetime = dc.requiredLifetime();
     return row;

@@ -21,22 +21,18 @@ main()
 
     const auto p25 = prepare(Family::Qft, 25);
     const auto p36 = prepare(Family::Qft, 36);
-    const auto base25 = compileBaseline(p25.pattern.graph(), p25.deps,
-                                        baselineConfig(p25.gridSize));
-    const auto base36 = compileBaseline(p36.pattern.graph(), p36.deps,
-                                        baselineConfig(p36.gridSize));
+    const auto base25 =
+        compileBase(p25, baselineConfig(p25.gridSize));
+    const auto base36 =
+        compileBase(p36, baselineConfig(p36.gridSize));
 
     for (int kmax : {1, 2, 4, 6, 8, 12, 16}) {
         auto config25 = paperConfig(4, p25.gridSize);
         config25.kmax = kmax;
-        const auto dc25 =
-            DcMbqcCompiler(config25).compile(p25.pattern.graph(),
-                                             p25.deps);
+        const auto dc25 = compileDc(p25, config25);
         auto config36 = paperConfig(4, p36.gridSize);
         config36.kmax = kmax;
-        const auto dc36 =
-            DcMbqcCompiler(config36).compile(p36.pattern.graph(),
-                                             p36.deps);
+        const auto dc36 = compileDc(p36, config36);
 
         table.row()
             .cell(kmax)

@@ -23,15 +23,14 @@ main()
                      "Cut", "Modularity"});
 
     const auto p = prepare(Family::Qft, 36);
-    const auto baseline = compileBaseline(
-        p.pattern.graph(), p.deps, baselineConfig(p.gridSize));
+    const auto baseline =
+        compileBase(p, baselineConfig(p.gridSize));
 
     for (double alpha_max :
          {1.05, 1.25, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}) {
         auto config = paperConfig(4, p.gridSize);
         config.partition.alphaMax = alpha_max;
-        const auto dc = DcMbqcCompiler(config).compile(
-            p.pattern.graph(), p.deps);
+        const auto dc = compileDc(p, config);
 
         table.row()
             .cell(alpha_max, 2)

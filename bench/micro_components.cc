@@ -11,6 +11,7 @@
 #include "bench/bench_common.hh"
 #include "core/bdir.hh"
 #include "core/list_scheduler.hh"
+#include "core/lsp_builder.hh"
 #include "partition/multilevel.hh"
 
 using namespace dcmbqc;
@@ -69,8 +70,8 @@ void
 BM_LifetimeEvaluation(benchmark::State &state)
 {
     const auto &p = qft36();
-    const auto baseline = compileBaseline(p.pattern.graph(), p.deps,
-                                          baselineConfig(p.gridSize));
+    const auto baseline =
+        compileBase(p, baselineConfig(p.gridSize));
     std::vector<TimeSlot> node_time(p.pattern.numNodes());
     for (NodeId u = 0; u < p.pattern.numNodes(); ++u)
         node_time[u] = baseline.schedule.nodePhysicalTime(u);
@@ -84,24 +85,21 @@ BENCHMARK(BM_LifetimeEvaluation);
 
 struct LspFixture
 {
-    DcMbqcCompiler compiler;
     LayerSchedulingProblem lsp;
 
-    LspFixture()
-        : compiler(paperConfig(4, qft36().gridSize)),
-          lsp(buildOnce())
-    {
-    }
+    LspFixture() : lsp(buildOnce()) {}
 
-    LayerSchedulingProblem
+    static LayerSchedulingProblem
     buildOnce()
     {
         const auto &p = qft36();
-        DcMbqcCompiler local(paperConfig(4, p.gridSize));
-        const auto adaptive = adaptivePartition(
-            p.pattern.graph(), local.config().partition);
-        return local.buildLsp(p.pattern.graph(), p.deps,
-                              adaptive.best);
+        const auto config = CompileOptions::fromConfig(
+            paperConfig(4, p.gridSize)).build().value();
+        const auto adaptive =
+            adaptivePartition(p.pattern.graph(), config.partition);
+        return buildLayerSchedulingProblem(
+            p.pattern.graph(), p.deps, adaptive.best, config.numQpus,
+            config.grid, config.order, config.kmax);
     }
 };
 
@@ -127,6 +125,36 @@ BM_BdirNeighborStep(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BdirNeighborStep);
+
+void
+BM_DriverEndToEnd(benchmark::State &state)
+{
+    // Full pass pipeline through the public driver, including the
+    // per-stage timing bookkeeping (cost of the API layer itself).
+    static const Prepared p = prepare(Family::Qft, 16);
+    const CompilerDriver driver(
+        CompileOptions::fromConfig(paperConfig(4, p.gridSize)));
+    for (auto _ : state) {
+        auto report = driver.compile(makeRequest(p));
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_DriverEndToEnd);
+
+void
+BM_DriverBatch8(benchmark::State &state)
+{
+    // Eight identical requests fanned across the thread pool.
+    static const Prepared p = prepare(Family::Qft, 16);
+    const CompilerDriver driver(
+        CompileOptions::fromConfig(paperConfig(4, p.gridSize)));
+    const std::vector<CompileRequest> requests(8, makeRequest(p));
+    for (auto _ : state) {
+        auto reports = driver.compileBatch(requests);
+        benchmark::DoNotOptimize(reports);
+    }
+}
+BENCHMARK(BM_DriverBatch8);
 
 } // namespace
 

@@ -30,8 +30,8 @@ main()
     for (const auto &[family, sizes] : suite) {
         for (int qubits : sizes) {
             const auto p = prepare(family, qubits);
-            const auto baseline = compileBaseline(
-                p.pattern.graph(), p.deps, baselineConfig(p.gridSize));
+            const auto baseline =
+                compileBase(p, baselineConfig(p.gridSize));
             table.row()
                 .cell(p.name)
                 .cell(p.qubits)

@@ -26,8 +26,8 @@ constexpr int refreshCap = 20;
 RefreshResult
 oneAdaptBaseline(const Prepared &p)
 {
-    const auto baseline = compileBaseline(
-        p.pattern.graph(), p.deps, baselineConfig(p.gridSize));
+    const auto baseline =
+        compileBase(p, baselineConfig(p.gridSize));
     RefreshConfig cfg;
     cfg.lifetimeCap = refreshCap;
     return applyDynamicRefresh(p.pattern.graph(), p.deps,
@@ -40,8 +40,7 @@ dcWithReservation(const Prepared &p, int qpus)
 {
     auto config = paperConfig(qpus, p.gridSize);
     config.grid.reservedBoundary = 1;
-    DcMbqcCompiler compiler(config);
-    const auto dc = compiler.compile(p.pattern.graph(), p.deps);
+    const auto dc = compileDc(p, config);
     // The refresh cap bounds every photon's storage on the
     // distributed side as well.
     const int lifetime = std::min(dc.requiredLifetime(), refreshCap);

@@ -12,6 +12,7 @@
 #include "bench/bench_common.hh"
 #include "common/table.hh"
 #include "core/list_scheduler.hh"
+#include "core/lsp_builder.hh"
 
 using namespace dcmbqc;
 using namespace dcmbqc::bench;
@@ -25,20 +26,20 @@ main()
     for (int qubits : {16, 25, 36, 49, 64}) {
         const auto p = prepare(Family::Qft, qubits);
 
-        DcMbqcCompiler compiler(paperConfig(4, p.gridSize));
+        const auto config = CompileOptions::fromConfig(
+            paperConfig(4, p.gridSize)).build().value();
         // Identical partition + local schedules for both schedulers.
         const auto adaptive =
-            adaptivePartition(p.pattern.graph(),
-                              compiler.config().partition);
-        const auto lsp = compiler.buildLsp(p.pattern.graph(), p.deps,
-                                           adaptive.best);
+            adaptivePartition(p.pattern.graph(), config.partition);
+        const auto lsp = buildLayerSchedulingProblem(
+            p.pattern.graph(), p.deps, adaptive.best, config.numQpus,
+            config.grid, config.order, config.kmax);
 
         const auto list = listScheduleDefault(lsp);
         const int list_lifetime =
             evaluateSchedule(lsp, list).tauPhoton();
 
-        const auto refined =
-            bdirOptimize(lsp, list, compiler.config().bdir);
+        const auto refined = bdirOptimize(lsp, list, config.bdir);
         const int bdir_lifetime =
             evaluateSchedule(lsp, refined).tauPhoton();
 

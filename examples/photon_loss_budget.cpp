@@ -10,8 +10,8 @@
 
 #include <cstdio>
 
+#include "api/api.hh"
 #include "circuit/generators.hh"
-#include "core/pipeline.hh"
 #include "mbqc/dependency.hh"
 #include "mbqc/pattern_builder.hh"
 #include "photonic/grid.hh"
@@ -36,17 +36,19 @@ void
 report(const char *name, const Pattern &pattern, const Digraph &deps,
        int grid)
 {
-    SingleQpuConfig base_config;
-    base_config.grid.size = grid;
+    const auto request =
+        CompileRequest::fromGraph(pattern.graph(), deps, name);
+    const CompilerDriver base_driver(
+        CompileOptions().numQpus(1).gridSize(grid));
     const auto baseline =
-        compileBaseline(pattern.graph(), deps, base_config);
+        base_driver.compileBaseline(request)->baselineResult();
 
-    DcMbqcConfig config;
-    config.numQpus = 8;
-    config.grid.size = grid;
-    config.grid.resourceState = ResourceStateType::Ring4;
-    const auto dc =
-        DcMbqcCompiler(config).compile(pattern.graph(), deps);
+    const CompilerDriver driver(
+        CompileOptions()
+            .numQpus(8)
+            .gridSize(grid)
+            .resourceState(ResourceStateType::Ring4));
+    const auto dc = driver.compile(request)->result();
 
     const double budget = experimentalFusionFailureRate;
     std::printf("%-8s lifetime %5d -> %5d cycles | max clock period "

@@ -13,9 +13,9 @@
 
 #include <cstdio>
 
+#include "api/api.hh"
 #include "circuit/generators.hh"
 #include "common/rng.hh"
-#include "core/pipeline.hh"
 #include "mbqc/dependency.hh"
 #include "mbqc/pattern_builder.hh"
 #include "photonic/grid.hh"
@@ -36,10 +36,12 @@ scalingStudy()
     const Digraph deps = realTimeDependencyGraph(pattern);
     const int grid = gridSizeForQubits(qubits);
 
-    SingleQpuConfig base_config;
-    base_config.grid.size = grid;
+    const auto request =
+        CompileRequest::fromGraph(pattern.graph(), deps, "qaoa");
+    const CompilerDriver base_driver(
+        CompileOptions().numQpus(1).gridSize(grid));
     const auto baseline =
-        compileBaseline(pattern.graph(), deps, base_config);
+        base_driver.compileBaseline(request)->baselineResult();
 
     std::printf("QAOA-%d: %d photons, %d fusions, grid %dx%d\n",
                 qubits, pattern.numNodes(),
@@ -55,11 +57,9 @@ scalingStudy()
                           baseline.requiredLifetime()));
 
     for (int qpus : {2, 4, 8}) {
-        DcMbqcConfig config;
-        config.numQpus = qpus;
-        config.grid.size = grid;
-        const auto dc =
-            DcMbqcCompiler(config).compile(pattern.graph(), deps);
+        const CompilerDriver driver(
+            CompileOptions().numQpus(qpus).gridSize(grid));
+        const auto dc = driver.compile(request)->result();
         std::printf("%-10s %10d %10d %12d %13.2f%%\n",
                     (std::to_string(qpus) + " QPUs").c_str(),
                     dc.executionTime(), dc.requiredLifetime(),

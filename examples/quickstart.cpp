@@ -1,59 +1,72 @@
 /**
  * @file
  * Quickstart: compile a QFT circuit for a distributed photonic MBQC
- * system and compare against the monolithic baseline.
+ * system with the pass-based `CompilerDriver`, and compare against
+ * the monolithic baseline.
  *
- * Pipeline (Figure 2 of the paper):
- *   circuit -> {CZ, J} program -> measurement pattern
- *           -> adaptive partitioning -> per-QPU compilation
- *           -> layer scheduling (list + BDIR) -> metrics.
+ * The driver runs the Figure-2 pipeline as a sequence of named
+ * passes:
+ *
+ *   Transpile -> PatternBuild -> Partition -> PlaceLocal
+ *             -> ScheduleList -> RefineBdir
+ *
+ * and returns a CompileReport carrying the result plus per-stage
+ * wall-clock timings and diagnostics. Errors (bad configs,
+ * malformed requests) come back as a Status instead of aborting,
+ * so a long-running service can reject one request and keep going.
  */
 
 #include <cstdio>
 
+#include "api/api.hh"
 #include "circuit/generators.hh"
-#include "core/pipeline.hh"
-#include "mbqc/dependency.hh"
-#include "mbqc/pattern_builder.hh"
-#include "photonic/grid.hh"
 
 using namespace dcmbqc;
 
 int
 main()
 {
-    // 1. A quantum program in the circuit model.
+    // 1. A quantum program in the circuit model. The request enters
+    //    the pipeline at the Circuit entry point; Pattern and raw
+    //    Graph+Digraph entries are available for callers that
+    //    already hold a lowered representation.
     const int qubits = 16;
     const Circuit circuit = makeQft(qubits);
     std::printf("program       : %s (%zu gates, %zu two-qubit)\n",
                 circuit.name().c_str(), circuit.numGates(),
                 circuit.numTwoQubitGates());
 
-    // 2. Translate to a one-way measurement pattern. The pattern's
-    //    entanglement graph is the computation graph the compilers
-    //    map onto hardware; the dependency graph captures real-time
-    //    measurement adaptivity (after signal shifting).
-    const Pattern pattern = buildPattern(circuit);
-    const Digraph deps = realTimeDependencyGraph(pattern);
-    std::printf("pattern       : %d photons, %d fusion edges\n",
-                pattern.numNodes(), pattern.graph().numEdges());
+    // 2. Configure via the fluent options builder. Every field is
+    //    validated up front; seed() makes both stochastic passes
+    //    (partitioning, BDIR annealing) reproducible.
+    const CompileOptions options = CompileOptions()
+                                       .numQpus(4)
+                                       .gridSize(gridSizeForQubits(qubits))
+                                       .kmax(4)
+                                       .seed(17);
+    const CompilerDriver driver(options);
 
     // 3. Monolithic baseline (OneQ-style single-QPU mapping).
-    SingleQpuConfig base_config;
-    base_config.grid.size = gridSizeForQubits(qubits);
-    const auto baseline =
-        compileBaseline(pattern.graph(), deps, base_config);
+    const auto request = CompileRequest::fromCircuit(circuit);
+    auto base_report = driver.compileBaseline(request);
+    if (!base_report.ok()) {
+        std::fprintf(stderr, "baseline failed: %s\n",
+                     base_report.status().toString().c_str());
+        return 1;
+    }
+    const auto &baseline = base_report->baselineResult();
     std::printf("baseline      : %d cycles, lifetime %d cycles\n",
                 baseline.executionTime(),
                 baseline.requiredLifetime());
 
     // 4. DC-MBQC: distribute over 4 fully connected QPUs.
-    DcMbqcConfig config;
-    config.numQpus = 4;
-    config.grid.size = base_config.grid.size;
-    config.kmax = 4;
-    DcMbqcCompiler compiler(config);
-    const auto dc = compiler.compile(pattern.graph(), deps);
+    auto report = driver.compile(request);
+    if (!report.ok()) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     report.status().toString().c_str());
+        return 1;
+    }
+    const auto &dc = report->result();
 
     std::printf("dc-mbqc (4 QPU): %d cycles, lifetime %d cycles\n",
                 dc.executionTime(), dc.requiredLifetime());
@@ -66,5 +79,30 @@ main()
     std::printf("  speedup      : %.2fx\n",
                 static_cast<double>(baseline.executionTime()) /
                     dc.executionTime());
+
+    // 5. The report also carries per-stage timings and notes.
+    std::printf("\npass pipeline (%.2f ms total):\n%s",
+                report->totalMillis,
+                report->describeStages().c_str());
+    for (const auto &warning : report->warnings)
+        std::printf("  warning: %s\n", warning.c_str());
+
+    // 6. Batch compilation: fan independent requests across a
+    //    thread pool — results align positionally with requests and
+    //    are identical to sequential compilation.
+    std::vector<CompileRequest> batch;
+    for (int q : {8, 12, 16})
+        batch.push_back(CompileRequest::fromCircuit(makeQft(q)));
+    auto reports = driver.compileBatch(batch);
+    std::printf("\nbatch of %zu QFT sizes:\n", batch.size());
+    for (const auto &r : reports) {
+        if (!r.ok()) {
+            std::printf("  %s\n", r.status().toString().c_str());
+            continue;
+        }
+        std::printf("  %-8s exec %5d cycles, lifetime %4d cycles\n",
+                    r->label.c_str(), r->result().executionTime(),
+                    r->result().requiredLifetime());
+    }
     return 0;
 }

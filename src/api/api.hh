@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Umbrella header of the public compilation API. Typical use:
+ *
+ *   CompilerDriver driver(CompileOptions()
+ *                             .numQpus(4)
+ *                             .gridSize(7)
+ *                             .seed(42));
+ *   auto report = driver.compile(
+ *       CompileRequest::fromCircuit(makeQft(16)));
+ *   if (!report.ok())
+ *       handle(report.status());
+ *   use(report->result());
+ */
+
+#ifndef DCMBQC_API_API_HH
+#define DCMBQC_API_API_HH
+
+#include "api/driver.hh"
+#include "api/options.hh"
+#include "api/pass.hh"
+#include "api/passes.hh"
+#include "api/request.hh"
+#include "api/status.hh"
+
+#endif // DCMBQC_API_API_HH

@@ -1,0 +1,235 @@
+#include "api/driver.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "api/passes.hh"
+#include "api/thread_pool.hh"
+
+namespace dcmbqc
+{
+
+const DcMbqcResult &
+CompileReport::result() const
+{
+    if (!distributed)
+        panic("CompileReport::result(): no distributed result");
+    return *distributed;
+}
+
+const BaselineResult &
+CompileReport::baselineResult() const
+{
+    if (!baseline)
+        panic("CompileReport::baselineResult(): no baseline result");
+    return *baseline;
+}
+
+std::string
+CompileReport::describeStages() const
+{
+    std::ostringstream out;
+    for (const auto &stage : stages) {
+        out << "  " << stage.pass;
+        for (std::size_t pad = stage.pass.size(); pad < 14; ++pad)
+            out << ' ';
+        char millis[32];
+        std::snprintf(millis, sizeof(millis), "%8.2f ms",
+                      stage.millis);
+        out << millis;
+        if (!stage.status.ok())
+            out << "  " << stage.status.toString();
+        else if (!stage.note.empty())
+            out << "  " << stage.note;
+        out << '\n';
+    }
+    return out.str();
+}
+
+namespace
+{
+
+/**
+ * Serializes observer callbacks (through the owning driver's
+ * mutex) so one observer instance can be shared across the batch
+ * worker threads.
+ */
+class SerializedObserver : public PassObserver
+{
+  public:
+    SerializedObserver(const std::vector<PassObserver *> &targets,
+                       std::mutex &mutex)
+        : targets_(targets), mutex_(mutex)
+    {
+    }
+
+    void
+    onPassBegin(const std::string &label, const Pass &pass) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (PassObserver *target : targets_)
+            target->onPassBegin(label, pass);
+    }
+
+    void
+    onPassEnd(const std::string &label, const Pass &pass,
+              const StageReport &report) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (PassObserver *target : targets_)
+            target->onPassEnd(label, pass, report);
+    }
+
+  private:
+    const std::vector<PassObserver *> &targets_;
+    std::mutex &mutex_;
+};
+
+void
+addFrontEndPasses(PassManager &manager,
+                  CompileRequest::EntryPoint entry)
+{
+    switch (entry) {
+      case CompileRequest::EntryPoint::Circuit:
+        manager.add(std::make_unique<TranspilePass>());
+        manager.add(std::make_unique<PatternBuildPass>());
+        break;
+      case CompileRequest::EntryPoint::Pattern:
+        manager.add(std::make_unique<PatternBuildPass>());
+        break;
+      case CompileRequest::EntryPoint::Graph:
+        break;
+    }
+}
+
+} // namespace
+
+CompilerDriver::CompilerDriver(CompileOptions options)
+    : options_(std::move(options))
+{
+}
+
+CompilerDriver &
+CompilerDriver::addObserver(PassObserver *observer)
+{
+    if (observer)
+        observers_.push_back(observer);
+    return *this;
+}
+
+Expected<CompileReport>
+CompilerDriver::compile(const CompileRequest &request) const
+{
+    return compileImpl(request, /*baseline=*/false);
+}
+
+Expected<CompileReport>
+CompilerDriver::compileBaseline(const CompileRequest &request) const
+{
+    return compileImpl(request, /*baseline=*/true);
+}
+
+Expected<CompileReport>
+CompilerDriver::compileImpl(const CompileRequest &request,
+                            bool baseline) const
+{
+    Status status = request.validate();
+    if (!status.ok())
+        return status;
+
+    CompileReport report;
+    report.label = request.label();
+
+    auto config = options_.build(&report.warnings);
+    if (!config.ok())
+        return config.status();
+
+    PassContext ctx;
+    ctx.config = *config;
+
+    switch (request.entryPoint()) {
+      case CompileRequest::EntryPoint::Circuit:
+        ctx.circuit = &request.circuit();
+        break;
+      case CompileRequest::EntryPoint::Pattern:
+        ctx.pattern = &request.pattern();
+        break;
+      case CompileRequest::EntryPoint::Graph:
+        ctx.graph = &request.graph();
+        ctx.deps = &request.deps();
+        break;
+    }
+
+    PassManager manager;
+    addFrontEndPasses(manager, request.entryPoint());
+    if (baseline) {
+        manager.add(std::make_unique<PlaceBaselinePass>());
+    } else {
+        manager.add(std::make_unique<PartitionPass>());
+        manager.add(std::make_unique<PlaceLocalPass>());
+        manager.add(std::make_unique<ScheduleListPass>());
+        if (ctx.config.useBdir)
+            manager.add(std::make_unique<RefineBdirPass>());
+    }
+
+    SerializedObserver serialized(observers_, observerMutex_);
+    if (!observers_.empty())
+        manager.observe(&serialized);
+
+    status = manager.run(ctx, report.stages, report.label);
+    for (const auto &stage : report.stages)
+        report.totalMillis += stage.millis;
+    if (!status.ok())
+        return status;
+
+    report.warnings.insert(report.warnings.end(),
+                           ctx.warnings.begin(), ctx.warnings.end());
+
+    if (baseline) {
+        report.baseline = std::move(ctx.baseline);
+    } else {
+        DcMbqcResult result;
+        result.partition = std::move(ctx.partitionResult->best);
+        result.partitionModularity = ctx.partitionResult->modularity;
+        result.partitionImbalance = result.partition.imbalance(*ctx.graph);
+        result.numConnectors = ctx.partitionResult->cutEdges;
+        result.localSchedules = std::move(ctx.localSchedules);
+        result.metrics = evaluateSchedule(*ctx.lsp, *ctx.schedule);
+        result.schedule = std::move(*ctx.schedule);
+        report.distributed = std::move(result);
+    }
+    return report;
+}
+
+std::vector<Expected<CompileReport>>
+CompilerDriver::compileBatch(
+    const std::vector<CompileRequest> &requests,
+    int num_threads) const
+{
+    const std::size_t n = requests.size();
+    std::vector<Expected<CompileReport>> results;
+    results.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        results.emplace_back(Status::internal("request not executed"));
+    if (n == 0)
+        return results;
+
+    int threads = num_threads > 0 ? num_threads
+                                  : ThreadPool::defaultNumThreads();
+    threads = std::min<int>(threads, static_cast<int>(n));
+
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([this, &requests, &results, i] {
+            // Distinct slots: no synchronization needed on write.
+            results[i] = compile(requests[i]);
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+} // namespace dcmbqc

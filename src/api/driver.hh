@@ -1,0 +1,126 @@
+/**
+ * @file
+ * `CompilerDriver`: the public, non-aborting entry point of the
+ * DC-MBQC compiler. The driver assembles the pass pipeline that
+ * matches a request's entry point, runs it through the PassManager
+ * (timing every stage, notifying observers), and returns a
+ * `CompileReport` through the Status/Expected error channel —
+ * invalid configurations or malformed requests come back as
+ * `InvalidConfig` / `InvalidArgument` instead of aborting the
+ * process.
+ *
+ * `compileBatch` fans a vector of requests across a thread pool;
+ * every stochastic pass is seeded from the options, so a batch run
+ * is bit-identical to compiling the same requests sequentially.
+ */
+
+#ifndef DCMBQC_API_DRIVER_HH
+#define DCMBQC_API_DRIVER_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/options.hh"
+#include "api/pass.hh"
+#include "api/request.hh"
+#include "api/status.hh"
+#include "core/pipeline.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Everything a caller learns from one compilation: the result
+ * payload plus per-stage wall-clock timings, pass notes, and
+ * normalization warnings.
+ */
+struct CompileReport
+{
+    /** Label copied from the request. */
+    std::string label;
+
+    /** Filled by the distributed pipeline. */
+    std::optional<DcMbqcResult> distributed;
+
+    /** Filled by the baseline pipeline. */
+    std::optional<BaselineResult> baseline;
+
+    /** One entry per executed pass, in execution order. */
+    std::vector<StageReport> stages;
+
+    /** Config normalizations and pass warnings. */
+    std::vector<std::string> warnings;
+
+    /** Total wall-clock across all passes. */
+    double totalMillis = 0.0;
+
+    /** Distributed result accessor (panics when absent). */
+    const DcMbqcResult &result() const;
+
+    /** Baseline result accessor (panics when absent). */
+    const BaselineResult &baselineResult() const;
+
+    /** Multi-line human-readable stage table. */
+    std::string describeStages() const;
+};
+
+/**
+ * Pass-based compilation driver. One driver holds validated-on-use
+ * options and may serve any number of compile calls, including
+ * concurrently (it is logically const and all passes are
+ * stateless).
+ */
+class CompilerDriver
+{
+  public:
+    explicit CompilerDriver(CompileOptions options = {});
+
+    const CompileOptions &options() const { return options_; }
+
+    /**
+     * Register an observer fired around every pass of every
+     * subsequent compile call. Borrowed pointer; must outlive the
+     * driver's compile calls. Callbacks are serialized per driver,
+     * so one observer may be shared across a batch. Do not start
+     * another compile on the *same* driver from inside a callback
+     * (the serialization lock is not reentrant).
+     */
+    CompilerDriver &addObserver(PassObserver *observer);
+
+    /**
+     * Run the distributed Figure-2 pipeline on one request.
+     * Returns InvalidConfig / InvalidArgument without side effects
+     * when options or request fail validation.
+     */
+    Expected<CompileReport> compile(const CompileRequest &request) const;
+
+    /** Run the monolithic OneQ-style baseline pipeline. */
+    Expected<CompileReport>
+    compileBaseline(const CompileRequest &request) const;
+
+    /**
+     * Compile a batch of requests across `num_threads` workers
+     * (0 = hardware concurrency). Results are positionally aligned
+     * with `requests`; a failed request yields its error Status in
+     * place without affecting the others. Deterministic: equal to
+     * calling compile() sequentially on each request.
+     */
+    std::vector<Expected<CompileReport>>
+    compileBatch(const std::vector<CompileRequest> &requests,
+                 int num_threads = 0) const;
+
+  private:
+    Expected<CompileReport> compileImpl(const CompileRequest &request,
+                                        bool baseline) const;
+
+    CompileOptions options_;
+    std::vector<PassObserver *> observers_;
+
+    /** Serializes observer callbacks across batch workers. */
+    mutable std::mutex observerMutex_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_API_DRIVER_HH

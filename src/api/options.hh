@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fluent, validating configuration builder of the public API. Wraps
+ * `DcMbqcConfig` / `SingleQpuConfig` / `BdirConfig` behind chainable
+ * setters, checks every field's documented domain up front (instead
+ * of hitting a DCMBQC_ASSERT deep inside a pass), and performs the
+ * documented normalizations:
+ *
+ *  - `partition.k` always follows `numQpus`: the adaptive
+ *    partitioner must produce exactly one part per QPU, so any
+ *    user-supplied `partition.k` is overwritten. The old
+ *    `DcMbqcCompiler` constructor did this silently; the driver
+ *    surfaces it as a report warning when the values disagree.
+ *  - `seed(s)` plumbs one seed into both stochastic passes
+ *    (adaptive partitioning and BDIR annealing) so a whole batch
+ *    run is reproducible from a single number.
+ */
+
+#ifndef DCMBQC_API_OPTIONS_HH
+#define DCMBQC_API_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.hh"
+#include "core/pipeline.hh"
+
+namespace dcmbqc
+{
+
+/** Fluent builder over the full compiler configuration. */
+class CompileOptions
+{
+  public:
+    /** Starts from the paper's Section V-A defaults. */
+    CompileOptions() = default;
+
+    /** Adopt an existing low-level config (shim entry path). */
+    static CompileOptions fromConfig(const DcMbqcConfig &config);
+
+    /** Adopt a baseline config (grid + placement order, 1 QPU). */
+    static CompileOptions fromConfig(const SingleQpuConfig &config);
+
+    // Distributed system shape ---------------------------------------------
+    CompileOptions &numQpus(int qpus);
+    CompileOptions &kmax(int kmax);
+
+    // Per-QPU resource grid ------------------------------------------------
+    CompileOptions &gridSize(int size);
+    CompileOptions &resourceState(ResourceStateType type);
+    CompileOptions &plRatio(int ratio);
+    CompileOptions &reservedBoundary(int cells);
+
+    // Adaptive partitioning (Algorithm 2) ----------------------------------
+    CompileOptions &epsilonQ(double epsilon);
+    CompileOptions &alphaMax(double alpha);
+    CompileOptions &gamma(double gamma);
+
+    // Scheduling -----------------------------------------------------------
+    CompileOptions &useBdir(bool enabled);
+    CompileOptions &bdirInitialTemperature(double t0);
+    CompileOptions &bdirCoolingRate(double alpha);
+    CompileOptions &bdirMaxIterations(int iterations);
+    CompileOptions &placementOrder(PlacementOrder order);
+
+    /**
+     * Deterministic seed for every stochastic pass (partitioning
+     * probes and BDIR annealing). Two drivers built from options
+     * differing only in unrelated fields produce bit-identical
+     * schedules for equal seeds.
+     */
+    CompileOptions &seed(std::uint64_t seed);
+
+    /**
+     * Check every field against its documented domain. Returns
+     * InvalidConfig listing *all* violations (semicolon-separated)
+     * rather than just the first, so a service can report the full
+     * problem set in one round trip.
+     */
+    Status validate() const;
+
+    /**
+     * The validated, normalized low-level config. `partition.k` is
+     * set to `numQpus`; when the builder held a conflicting value, a
+     * note is appended to `normalizations`.
+     */
+    Expected<DcMbqcConfig>
+    build(std::vector<std::string> *normalizations = nullptr) const;
+
+    /** Grid / order subset used by the monolithic baseline. */
+    SingleQpuConfig baselineConfig() const;
+
+    /** Raw view (pre-normalization) for introspection. */
+    const DcMbqcConfig &config() const { return config_; }
+
+  private:
+    DcMbqcConfig config_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_API_OPTIONS_HH

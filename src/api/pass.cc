@@ -1,0 +1,56 @@
+#include "api/pass.hh"
+
+#include <chrono>
+
+namespace dcmbqc
+{
+
+PassManager &
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+PassManager &
+PassManager::observe(PassObserver *observer)
+{
+    if (observer)
+        observers_.push_back(observer);
+    return *this;
+}
+
+Status
+PassManager::run(PassContext &ctx, std::vector<StageReport> &stages,
+                 const std::string &label) const
+{
+    using Clock = std::chrono::steady_clock;
+
+    for (const auto &pass : passes_) {
+        for (PassObserver *observer : observers_)
+            observer->onPassBegin(label, *pass);
+
+        ctx.stageNote.clear();
+        const auto begin = Clock::now();
+        Status status = pass->run(ctx);
+        const auto end = Clock::now();
+
+        StageReport report;
+        report.pass = pass->name();
+        report.millis =
+            std::chrono::duration<double, std::milli>(end - begin)
+                .count();
+        report.status = status;
+        report.note = std::move(ctx.stageNote);
+        stages.push_back(report);
+
+        for (PassObserver *observer : observers_)
+            observer->onPassEnd(label, *pass, stages.back());
+
+        if (!status.ok())
+            return status;
+    }
+    return Status::okStatus();
+}
+
+} // namespace dcmbqc

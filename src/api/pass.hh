@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The pass framework behind `CompilerDriver`: the Figure-2 pipeline
+ * is decomposed into named passes over a shared `PassContext`
+ * blackboard, sequenced by a small `PassManager` that times every
+ * pass, notifies observers, and stops at the first failure. This is
+ * the driver/pass separation that lets tooling (benchmark
+ * harnesses, a future compile service) instrument or re-stage the
+ * pipeline without forking the monolithic entry point.
+ */
+
+#ifndef DCMBQC_API_PASS_HH
+#define DCMBQC_API_PASS_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/status.hh"
+#include "circuit/transpile.hh"
+#include "compiler/single_qpu.hh"
+#include "core/bdir.hh"
+#include "core/lsp.hh"
+#include "core/pipeline.hh"
+#include "graph/digraph.hh"
+#include "graph/graph.hh"
+#include "mbqc/pattern.hh"
+
+namespace dcmbqc
+{
+
+class CompileRequest;
+
+/**
+ * Shared blackboard the passes read from and write to. The driver
+ * seeds it from the request's entry point; each pass fills in the
+ * artifacts later passes depend on.
+ */
+struct PassContext
+{
+    /** Normalized configuration (partition.k == numQpus). */
+    DcMbqcConfig config;
+
+    /** Borrowed from the request; null for non-circuit entries. */
+    const Circuit *circuit = nullptr;
+
+    /** Filled by TranspilePass. */
+    std::optional<JCircuit> jcircuit;
+
+    /**
+     * Pattern / graph / deps views. Borrowed from the request when
+     * it supplied the artifact (the request outlives the compile
+     * call), otherwise pointing into the *Storage members a pass
+     * filled. Passes and the driver read through the views only.
+     */
+    const Pattern *pattern = nullptr;
+    const Graph *graph = nullptr;
+    const Digraph *deps = nullptr;
+
+    /** Backing storage for artifacts derived by the passes. */
+    std::optional<Pattern> patternStorage;
+    std::optional<Digraph> depsStorage;
+
+    /** Filled by PartitionPass. */
+    std::optional<AdaptiveResult> partitionResult;
+
+    /** Filled by PlaceLocalPass. */
+    std::vector<LocalSchedule> localSchedules;
+    std::optional<LayerSchedulingProblem> lsp;
+
+    /** Filled by ScheduleListPass, refined by RefineBdirPass. */
+    std::optional<Schedule> schedule;
+    BdirStats bdirStats;
+
+    /** Filled by PlaceBaselinePass (baseline pipeline only). */
+    std::optional<BaselineResult> baseline;
+
+    /** Free-form notes surfaced in the final report. */
+    std::vector<std::string> warnings;
+
+    /**
+     * One-line summary set by the currently running pass; the
+     * PassManager moves it into that pass's StageReport.
+     */
+    std::string stageNote;
+};
+
+/** One named stage of the pipeline. Stateless and thread-safe. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable stage name ("Partition", "RefineBdir"...). */
+    virtual const char *name() const = 0;
+
+    /** Run on the blackboard; non-OK aborts the pipeline. */
+    virtual Status run(PassContext &ctx) const = 0;
+};
+
+/** Wall-clock + outcome record of one executed pass. */
+struct StageReport
+{
+    std::string pass;
+    double millis = 0.0;
+    Status status;
+
+    /** One-line pass-specific summary ("4 parts, 37 cut edges"). */
+    std::string note;
+};
+
+/**
+ * Observer hooks fired around every pass. Callbacks are serialized
+ * by the driver, so one observer instance may be shared across a
+ * batch compilation.
+ */
+class PassObserver
+{
+  public:
+    virtual ~PassObserver() = default;
+
+    virtual void
+    onPassBegin(const std::string &label, const Pass &pass)
+    {
+        (void)label;
+        (void)pass;
+    }
+
+    virtual void
+    onPassEnd(const std::string &label, const Pass &pass,
+              const StageReport &report)
+    {
+        (void)label;
+        (void)pass;
+        (void)report;
+    }
+};
+
+/** Owns an ordered pass list and runs it over a context. */
+class PassManager
+{
+  public:
+    PassManager &add(std::unique_ptr<Pass> pass);
+
+    /** Observers are borrowed and must outlive run(). */
+    PassManager &observe(PassObserver *observer);
+
+    /**
+     * Run all passes in order, timing each and appending one
+     * StageReport per executed pass to `stages`. Stops at (and
+     * returns) the first non-OK status; the failing pass's stage
+     * report is still appended.
+     *
+     * @param label Request label passed through to observers.
+     */
+    Status run(PassContext &ctx, std::vector<StageReport> &stages,
+               const std::string &label = "") const;
+
+    std::size_t numPasses() const { return passes_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+    std::vector<PassObserver *> observers_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_API_PASS_HH

@@ -1,0 +1,104 @@
+#include "api/request.hh"
+
+namespace dcmbqc
+{
+
+CompileRequest
+CompileRequest::fromCircuit(Circuit circuit, std::string label)
+{
+    CompileRequest request;
+    request.entry_ = EntryPoint::Circuit;
+    if (label.empty())
+        label = circuit.name();
+    request.label_ = std::move(label);
+    request.circuit_.emplace(std::move(circuit));
+    return request;
+}
+
+CompileRequest
+CompileRequest::fromPattern(Pattern pattern, std::string label)
+{
+    CompileRequest request;
+    request.entry_ = EntryPoint::Pattern;
+    request.label_ = std::move(label);
+    request.pattern_.emplace(std::move(pattern));
+    return request;
+}
+
+CompileRequest
+CompileRequest::fromGraph(Graph graph, Digraph deps, std::string label)
+{
+    CompileRequest request;
+    request.entry_ = EntryPoint::Graph;
+    request.label_ = std::move(label);
+    request.graph_.emplace(std::move(graph));
+    request.deps_.emplace(std::move(deps));
+    return request;
+}
+
+Status
+CompileRequest::validate() const
+{
+    switch (entry_) {
+      case EntryPoint::Circuit:
+        if (circuit_->numGates() == 0)
+            return Status::invalidArgument(
+                "circuit '" + circuit_->name() + "' has no gates");
+        return Status::okStatus();
+
+      case EntryPoint::Pattern:
+        if (pattern_->numNodes() == 0)
+            return Status::invalidArgument("pattern has no nodes");
+        return Status::okStatus();
+
+      case EntryPoint::Graph:
+        if (graph_->numNodes() == 0)
+            return Status::invalidArgument(
+                "computation graph has no nodes");
+        if (deps_->numNodes() != graph_->numNodes())
+            return Status::invalidArgument(
+                "dependency graph has " +
+                std::to_string(deps_->numNodes()) +
+                " nodes but computation graph has " +
+                std::to_string(graph_->numNodes()));
+        if (!deps_->isAcyclic())
+            return Status::invalidArgument(
+                "dependency graph contains a cycle");
+        return Status::okStatus();
+    }
+    return Status::internal("unknown entry point");
+}
+
+const Circuit &
+CompileRequest::circuit() const
+{
+    if (!circuit_)
+        panic("CompileRequest::circuit() on non-circuit entry");
+    return *circuit_;
+}
+
+const Pattern &
+CompileRequest::pattern() const
+{
+    if (!pattern_)
+        panic("CompileRequest::pattern() on non-pattern entry");
+    return *pattern_;
+}
+
+const Graph &
+CompileRequest::graph() const
+{
+    if (!graph_)
+        panic("CompileRequest::graph() on non-graph entry");
+    return *graph_;
+}
+
+const Digraph &
+CompileRequest::deps() const
+{
+    if (!deps_)
+        panic("CompileRequest::deps() on non-graph entry");
+    return *deps_;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A unit of compilation work for `CompilerDriver`: one program plus
+ * an optional label for report correlation. A request can enter the
+ * pipeline at any of the three natural representations of Figure 2:
+ *
+ *   Circuit        -> runs Transpile + PatternBuild first;
+ *   Pattern        -> runs the graph/dependency derivation only;
+ *   Graph + Digraph-> goes straight to partitioning/scheduling.
+ *
+ * `validate()` rejects malformed inputs (empty circuit, node-count
+ * mismatch, cyclic dependency graph) with a Status instead of
+ * tripping an internal assertion downstream.
+ */
+
+#ifndef DCMBQC_API_REQUEST_HH
+#define DCMBQC_API_REQUEST_HH
+
+#include <optional>
+#include <string>
+
+#include "api/status.hh"
+#include "circuit/circuit.hh"
+#include "graph/digraph.hh"
+#include "graph/graph.hh"
+#include "mbqc/pattern.hh"
+
+namespace dcmbqc
+{
+
+/** One compilation job: where the pipeline starts and with what. */
+class CompileRequest
+{
+  public:
+    /** The representation the request enters the pipeline with. */
+    enum class EntryPoint
+    {
+        Circuit,
+        Pattern,
+        Graph,
+    };
+
+    /** Start from a gate-model circuit (full Figure-2 pipeline). */
+    static CompileRequest fromCircuit(Circuit circuit,
+                                      std::string label = "");
+
+    /** Start from a prebuilt one-way measurement pattern. */
+    static CompileRequest fromPattern(Pattern pattern,
+                                      std::string label = "");
+
+    /**
+     * Start from a raw computation graph and its real-time
+     * dependency graph (both over the same dense node ids).
+     */
+    static CompileRequest fromGraph(Graph graph, Digraph deps,
+                                    std::string label = "");
+
+    EntryPoint entryPoint() const { return entry_; }
+
+    const std::string &label() const { return label_; }
+    CompileRequest &
+    withLabel(std::string label)
+    {
+        label_ = std::move(label);
+        return *this;
+    }
+
+    /**
+     * Check the request for conditions that would otherwise abort
+     * deep inside a pass: empty circuits and patterns, graphs with
+     * no nodes, graph/dependency node-count mismatches, and cyclic
+     * dependency graphs.
+     */
+    Status validate() const;
+
+    // Entry-point payload accessors. Calling an accessor that does
+    // not match entryPoint() is a library-bug-level contract
+    // violation (the driver never does it) and panics.
+    const Circuit &circuit() const;
+    const Pattern &pattern() const;
+    const Graph &graph() const;
+    const Digraph &deps() const;
+
+  private:
+    CompileRequest() = default;
+
+    EntryPoint entry_ = EntryPoint::Circuit;
+    std::string label_;
+    std::optional<Circuit> circuit_;
+    std::optional<Pattern> pattern_;
+    std::optional<Graph> graph_;
+    std::optional<Digraph> deps_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_API_REQUEST_HH

@@ -1,0 +1,30 @@
+#include "api/status.hh"
+
+namespace dcmbqc
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::InvalidConfig: return "INVALID_CONFIG";
+      case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::Internal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    std::string out = statusCodeName(code_);
+    out += ": ";
+    out += message_;
+    return out;
+}
+
+} // namespace dcmbqc

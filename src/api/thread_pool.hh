@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool used by
+ * `CompilerDriver::compileBatch` to fan independent compilation
+ * requests across cores. Deliberately tiny: FIFO queue, no
+ * futures (batch results are written into pre-sized slots), and a
+ * `wait()` barrier for the submitting thread.
+ */
+
+#ifndef DCMBQC_API_THREAD_POOL_HH
+#define DCMBQC_API_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcmbqc
+{
+
+/** Fixed-size worker pool with a wait-for-idle barrier. */
+class ThreadPool
+{
+  public:
+    /** Spawns `num_threads` workers (clamped to >= 1). */
+    explicit ThreadPool(int num_threads);
+
+    /** Drains outstanding work, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Jobs must not throw. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+    /** Hardware concurrency with a sane fallback. */
+    static int defaultNumThreads();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    int active_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_API_THREAD_POOL_HH

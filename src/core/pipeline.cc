@@ -1,11 +1,10 @@
 #include "core/pipeline.hh"
 
-#include <algorithm>
+#include <utility>
 
+#include "api/driver.hh"
 #include "common/logging.hh"
-#include "core/list_scheduler.hh"
-#include "mbqc/dependency.hh"
-#include "partition/modularity.hh"
+#include "core/lsp_builder.hh"
 
 namespace dcmbqc
 {
@@ -14,6 +13,11 @@ DcMbqcCompiler::DcMbqcCompiler(DcMbqcConfig config)
     : config_(std::move(config))
 {
     DCMBQC_ASSERT(config_.numQpus >= 1, "need at least one QPU");
+    // Documented normalization: the adaptive partitioner must
+    // produce exactly one part per QPU, so partition.k always
+    // follows numQpus. The driver API reports this as a warning
+    // when the two disagree; this legacy shim keeps the historical
+    // silent-overwrite behavior.
     config_.partition.k = config_.numQpus;
 }
 
@@ -22,125 +26,54 @@ DcMbqcCompiler::buildLsp(const Graph &g, const Digraph &deps,
                          const Partitioning &part,
                          std::vector<LocalSchedule> *local_out) const
 {
-    const int k = config_.numQpus;
-    const auto members = part.partMembers();
-
-    // --- Per-QPU local compilation ----------------------------------
-    SingleQpuConfig local_config;
-    local_config.grid = config_.grid;
-    local_config.order = config_.order;
-    const SingleQpuCompiler local_compiler(local_config);
-
-    std::vector<MainTask> main_tasks;
-    std::vector<int> task_of_node(g.numNodes(), -1);
-    std::vector<LocalSchedule> locals;
-    locals.reserve(k);
-
-    for (QpuId qpu = 0; qpu < k; ++qpu) {
-        std::vector<NodeId> to_sub;
-        const Graph sub = g.inducedSubgraph(members[qpu], &to_sub);
-
-        // Induced dependency graph (arcs within the part only).
-        Digraph sub_deps(sub.numNodes());
-        for (NodeId u : members[qpu])
-            for (NodeId v : deps.successors(u))
-                if (to_sub[v] != invalidNode)
-                    sub_deps.addArc(to_sub[u], to_sub[v]);
-
-        LocalSchedule local = local_compiler.compile(sub, sub_deps);
-
-        for (std::size_t layer = 0; layer < local.layers.size();
-             ++layer) {
-            MainTask task;
-            task.qpu = qpu;
-            task.index = static_cast<int>(layer);
-            task.nodes.reserve(local.layers[layer].nodes.size());
-            for (NodeId sub_node : local.layers[layer].nodes) {
-                const NodeId global = members[qpu][sub_node];
-                task.nodes.push_back(global);
-                task_of_node[global] =
-                    static_cast<int>(main_tasks.size());
-            }
-            main_tasks.push_back(std::move(task));
-        }
-        locals.push_back(std::move(local));
-    }
-    if (local_out)
-        *local_out = std::move(locals);
-
-    // --- Connectors / synchronization tasks --------------------------
-    Graph local_edges(g.numNodes());
-    std::vector<SyncTask> sync_tasks;
-    for (const auto &e : g.edges()) {
-        if (part.part(e.u) == part.part(e.v)) {
-            local_edges.addEdge(e.u, e.v, e.weight);
-        } else {
-            SyncTask sync;
-            sync.taskA = task_of_node[e.u];
-            sync.taskB = task_of_node[e.v];
-            sync.u = e.u;
-            sync.v = e.v;
-            sync_tasks.push_back(sync);
-        }
-    }
-
-    return LayerSchedulingProblem(std::move(main_tasks),
-                                  std::move(sync_tasks),
-                                  std::move(local_edges), deps, k,
-                                  config_.kmax, config_.grid.plRatio);
+    return buildLayerSchedulingProblem(g, deps, part, config_.numQpus,
+                                       config_.grid, config_.order,
+                                       config_.kmax, local_out);
 }
 
 DcMbqcResult
 DcMbqcCompiler::compile(const Graph &g, const Digraph &deps) const
 {
-    DcMbqcResult result;
-
-    // --- Stage 1: adaptive graph partitioning (Algorithm 2) ---------
-    auto adaptive = adaptivePartition(g, config_.partition);
-    result.partition = std::move(adaptive.best);
-    result.partitionModularity = adaptive.modularity;
-    result.partitionImbalance = result.partition.imbalance(g);
-    result.numConnectors = adaptive.cutEdges;
-
-    // --- Stage 2: per-QPU compilation + LSP construction -------------
-    const auto lsp =
-        buildLsp(g, deps, result.partition, &result.localSchedules);
-
-    // --- Stage 3: layer scheduling ------------------------------------
-    Schedule schedule = listScheduleDefault(lsp);
-    if (config_.useBdir)
-        schedule = bdirOptimize(lsp, schedule, config_.bdir);
-
-    result.metrics = evaluateSchedule(lsp, schedule);
-    result.schedule = std::move(schedule);
-    return result;
+    const CompilerDriver driver(CompileOptions::fromConfig(config_));
+    auto report = driver.compile(CompileRequest::fromGraph(g, deps));
+    if (!report.ok())
+        fatal("DcMbqcCompiler::compile: ",
+              report.status().toString());
+    return std::move(*report.value().distributed);
 }
 
 DcMbqcResult
 DcMbqcCompiler::compile(const Pattern &pattern) const
 {
-    return compile(pattern.graph(), realTimeDependencyGraph(pattern));
+    const CompilerDriver driver(CompileOptions::fromConfig(config_));
+    auto report = driver.compile(CompileRequest::fromPattern(pattern));
+    if (!report.ok())
+        fatal("DcMbqcCompiler::compile: ",
+              report.status().toString());
+    return std::move(*report.value().distributed);
 }
 
 BaselineResult
 compileBaseline(const Graph &g, const Digraph &deps,
                 const SingleQpuConfig &config)
 {
-    BaselineResult result;
-    result.schedule = SingleQpuCompiler(config).compile(g, deps);
-
-    std::vector<TimeSlot> node_time(g.numNodes());
-    for (NodeId u = 0; u < g.numNodes(); ++u)
-        node_time[u] = result.schedule.nodePhysicalTime(u);
-    result.lifetime = computeLifetime(g, deps, node_time);
-    return result;
+    const CompilerDriver driver(CompileOptions::fromConfig(config));
+    auto report =
+        driver.compileBaseline(CompileRequest::fromGraph(g, deps));
+    if (!report.ok())
+        fatal("compileBaseline: ", report.status().toString());
+    return std::move(*report.value().baseline);
 }
 
 BaselineResult
 compileBaseline(const Pattern &pattern, const SingleQpuConfig &config)
 {
-    return compileBaseline(pattern.graph(),
-                           realTimeDependencyGraph(pattern), config);
+    const CompilerDriver driver(CompileOptions::fromConfig(config));
+    auto report =
+        driver.compileBaseline(CompileRequest::fromPattern(pattern));
+    if (!report.ok())
+        fatal("compileBaseline: ", report.status().toString());
+    return std::move(*report.value().baseline);
 }
 
 } // namespace dcmbqc

@@ -25,7 +25,16 @@
 namespace dcmbqc
 {
 
-/** Full configuration of the DC-MBQC compiler. */
+/**
+ * Full configuration of the DC-MBQC compiler.
+ *
+ * Normalization: `partition.k` is always derived from `numQpus` —
+ * the partitioner must produce exactly one part per QPU, so any
+ * user-supplied `partition.k` is overwritten when the config enters
+ * a compiler. The pass-based API (`CompileOptions::build`) reports
+ * the overwrite as a warning; the legacy `DcMbqcCompiler`
+ * constructor applies it silently for backward compatibility.
+ */
 struct DcMbqcConfig
 {
     /** Number of fully connected QPUs. */
@@ -96,6 +105,13 @@ struct BaselineResult
 
 /**
  * The DC-MBQC distributed compiler.
+ *
+ * @deprecated Thin shim over the pass-based `dcmbqc::CompilerDriver`
+ * (api/driver.hh), kept for source compatibility. It preserves the
+ * historical abort-on-invalid-input contract: where the driver
+ * returns a Status, the shim calls fatal(). New code should use
+ * `CompilerDriver`, which adds per-stage reports, observer hooks,
+ * non-aborting validation, and batch compilation.
  */
 class DcMbqcCompiler
 {
@@ -126,11 +142,16 @@ class DcMbqcCompiler
     DcMbqcConfig config_;
 };
 
-/** Compile with the monolithic single-QPU baseline (OneQ-style). */
+/**
+ * Compile with the monolithic single-QPU baseline (OneQ-style).
+ *
+ * @deprecated Shim over `CompilerDriver::compileBaseline`; aborts
+ * via fatal() on invalid input where the driver returns a Status.
+ */
 BaselineResult compileBaseline(const Graph &g, const Digraph &deps,
                                const SingleQpuConfig &config);
 
-/** Convenience overload for measurement patterns. */
+/** Convenience overload for measurement patterns. @deprecated */
 BaselineResult compileBaseline(const Pattern &pattern,
                                const SingleQpuConfig &config);
 

@@ -9,8 +9,10 @@
 
 #include <cmath>
 
+#include "api/api.hh"
+#include "driver_helpers.hh"
 #include "circuit/generators.hh"
-#include "core/pipeline.hh"
+#include "core/lsp_builder.hh"
 #include "mbqc/dependency.hh"
 #include "mbqc/pattern_builder.hh"
 #include "photonic/grid.hh"
@@ -20,6 +22,8 @@ namespace dcmbqc
 {
 namespace
 {
+
+using test::compileBase;
 
 TEST(LossAnalysis, FuseeStorageChargedToEarlierPhoton)
 {
@@ -44,7 +48,7 @@ TEST(LossAnalysis, MaxEqualsRequiredLifetime)
     SingleQpuConfig config;
     config.grid.size = gridSizeForQubits(6);
     const auto baseline =
-        compileBaseline(pattern.graph(), deps, config);
+        compileBase(pattern.graph(), deps, config);
 
     std::vector<TimeSlot> node_time(pattern.numNodes());
     for (NodeId u = 0; u < pattern.numNodes(); ++u)
@@ -78,7 +82,7 @@ TEST(LossAnalysis, SlowerClockLowersSuccess)
     SingleQpuConfig config;
     config.grid.size = 7;
     const auto baseline =
-        compileBaseline(pattern.graph(), deps, config);
+        compileBase(pattern.graph(), deps, config);
     std::vector<TimeSlot> node_time(pattern.numNodes());
     for (NodeId u = 0; u < pattern.numNodes(); ++u)
         node_time[u] = baseline.schedule.nodePhysicalTime(u);
@@ -114,18 +118,19 @@ TEST(LossAnalysis, DistributionImprovesSuccessProbability)
     SingleQpuConfig base_config;
     base_config.grid.size = grid;
     const auto baseline =
-        compileBaseline(pattern.graph(), deps, base_config);
+        compileBase(pattern.graph(), deps, base_config);
     std::vector<TimeSlot> base_time(pattern.numNodes());
     for (NodeId u = 0; u < pattern.numNodes(); ++u)
         base_time[u] = baseline.schedule.nodePhysicalTime(u);
 
-    DcMbqcConfig config;
-    config.numQpus = 4;
-    config.grid.size = grid;
-    DcMbqcCompiler compiler(config);
-    const auto dc = compiler.compile(pattern.graph(), deps);
+    const auto options =
+        CompileOptions().numQpus(4).gridSize(grid);
+    auto dc_report = CompilerDriver(options).compile(
+        CompileRequest::fromGraph(pattern.graph(), deps));
+    ASSERT_TRUE(dc_report.ok()) << dc_report.status().toString();
+    const auto &dc = dc_report->result();
     const auto lsp =
-        compiler.buildLsp(pattern.graph(), deps, dc.partition);
+        test::rebuildLsp(options, pattern.graph(), deps, dc.partition);
     std::vector<TimeSlot> dc_time(pattern.numNodes());
     for (NodeId u = 0; u < pattern.numNodes(); ++u)
         dc_time[u] =

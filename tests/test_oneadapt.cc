@@ -7,9 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include "api/api.hh"
+#include "driver_helpers.hh"
 #include "circuit/generators.hh"
 #include "core/oneadapt.hh"
-#include "core/pipeline.hh"
 #include "mbqc/dependency.hh"
 #include "mbqc/pattern_builder.hh"
 #include "photonic/grid.hh"
@@ -19,6 +20,8 @@ namespace dcmbqc
 namespace
 {
 
+using test::compileBase;
+
 TEST(OneAdapt, CapsLifetime)
 {
     const auto pattern = buildPattern(makeQft(10));
@@ -26,7 +29,7 @@ TEST(OneAdapt, CapsLifetime)
     SingleQpuConfig config;
     config.grid.size = gridSizeForQubits(10);
     const auto baseline =
-        compileBaseline(pattern.graph(), deps, config);
+        compileBase(pattern.graph(), deps, config);
 
     RefreshConfig refresh;
     refresh.lifetimeCap = 10;
@@ -47,7 +50,7 @@ TEST(OneAdapt, NoOpWhenUnderCap)
     SingleQpuConfig config;
     config.grid.size = 9;
     const auto baseline =
-        compileBaseline(pattern.graph(), deps, config);
+        compileBase(pattern.graph(), deps, config);
 
     RefreshConfig refresh;
     refresh.lifetimeCap = baseline.requiredLifetime() + 5;
@@ -66,7 +69,7 @@ TEST(OneAdapt, TighterCapMoreRefreshes)
     SingleQpuConfig config;
     config.grid.size = 7;
     const auto baseline =
-        compileBaseline(pattern.graph(), deps, config);
+        compileBase(pattern.graph(), deps, config);
 
     RefreshConfig loose;
     loose.lifetimeCap = 30;
@@ -112,8 +115,8 @@ TEST(OneAdapt, BoundaryReservationShrinksGrid)
     SingleQpuConfig reserved = full;
     reserved.grid.reservedBoundary = 1;
 
-    const auto a = compileBaseline(pattern.graph(), deps, full);
-    const auto b = compileBaseline(pattern.graph(), deps, reserved);
+    const auto a = compileBase(pattern.graph(), deps, full);
+    const auto b = compileBase(pattern.graph(), deps, reserved);
     EXPECT_GE(b.executionTime(), a.executionTime());
 }
 

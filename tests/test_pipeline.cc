@@ -1,15 +1,18 @@
 /**
  * @file
- * End-to-end tests of the DC-MBQC pipeline (Figure 2): structural
- * invariants of the distributed schedule, the headline property that
- * distribution reduces execution time and required lifetime on
- * mid-size programs, and baseline consistency.
+ * End-to-end tests of the DC-MBQC pipeline (Figure 2) through the
+ * pass-based `CompilerDriver`: structural invariants of the
+ * distributed schedule, the headline property that distribution
+ * reduces execution time and required lifetime on mid-size
+ * programs, and baseline consistency.
  */
 
 #include <gtest/gtest.h>
 
+#include "api/api.hh"
+#include "driver_helpers.hh"
 #include "circuit/generators.hh"
-#include "core/pipeline.hh"
+#include "core/lsp_builder.hh"
 #include "mbqc/dependency.hh"
 #include "mbqc/pattern_builder.hh"
 #include "photonic/grid.hh"
@@ -19,25 +22,47 @@ namespace dcmbqc
 namespace
 {
 
-DcMbqcConfig
-makeConfig(int qpus, int grid_size,
-           ResourceStateType type = ResourceStateType::Star5)
+CompileOptions
+makeOptions(int qpus, int grid_size,
+            ResourceStateType type = ResourceStateType::Star5)
 {
-    DcMbqcConfig config;
-    config.numQpus = qpus;
-    config.grid.size = grid_size;
-    config.grid.resourceState = type;
-    config.kmax = 4;
-    config.partition.alphaMax = 1.5;
-    return config;
+    return CompileOptions()
+        .numQpus(qpus)
+        .gridSize(grid_size)
+        .resourceState(type)
+        .kmax(4)
+        .alphaMax(1.5);
+}
+
+using test::compileDc;
+
+DcMbqcResult
+compileDc(const CompileOptions &options, const Pattern &pattern)
+{
+    auto report = CompilerDriver(options).compile(
+        CompileRequest::fromPattern(pattern));
+    EXPECT_TRUE(report.ok()) << report.status().toString();
+    return report->result();
+}
+
+using test::rebuildLsp;
+
+BaselineResult
+compileBase(const CompileOptions &options, const Graph &g,
+            const Digraph &deps)
+{
+    return test::compileBase(g, deps, options.baselineConfig());
 }
 
 TEST(Pipeline, BaselineCompilesQft)
 {
     const auto pattern = buildPattern(makeQft(6));
-    SingleQpuConfig config;
-    config.grid.size = gridSizeForQubits(6);
-    const auto r = compileBaseline(pattern, config);
+    auto report =
+        CompilerDriver(CompileOptions().numQpus(1).gridSize(
+                           gridSizeForQubits(6)))
+            .compileBaseline(CompileRequest::fromPattern(pattern));
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    const auto &r = report->baselineResult();
     EXPECT_GT(r.executionTime(), 0);
     EXPECT_GT(r.requiredLifetime(), 0);
     EXPECT_EQ(r.schedule.nodeLayer.size(),
@@ -48,12 +73,12 @@ TEST(Pipeline, DistributedScheduleIsFeasible)
 {
     const auto pattern = buildPattern(makeQft(8));
     const auto deps = realTimeDependencyGraph(pattern);
-    DcMbqcCompiler compiler(makeConfig(4, gridSizeForQubits(8)));
-    const auto result = compiler.compile(pattern.graph(), deps);
+    const auto options = makeOptions(4, gridSizeForQubits(8));
+    const auto result = compileDc(options, pattern.graph(), deps);
 
     // Rebuild the LSP from the result's partition and validate.
     const auto lsp =
-        compiler.buildLsp(pattern.graph(), deps, result.partition);
+        rebuildLsp(options, pattern.graph(), deps, result.partition);
     std::string why;
     EXPECT_TRUE(validateSchedule(lsp, result.schedule, &why)) << why;
 }
@@ -61,8 +86,7 @@ TEST(Pipeline, DistributedScheduleIsFeasible)
 TEST(Pipeline, PartitionCoversAllNodes)
 {
     const auto pattern = buildPattern(makeVqe(6));
-    DcMbqcCompiler compiler(makeConfig(4, 7));
-    const auto result = compiler.compile(pattern);
+    const auto result = compileDc(makeOptions(4, 7), pattern);
     EXPECT_EQ(result.partition.numNodes(), pattern.numNodes());
     for (NodeId u = 0; u < pattern.numNodes(); ++u) {
         EXPECT_GE(result.partition.part(u), 0);
@@ -73,8 +97,7 @@ TEST(Pipeline, PartitionCoversAllNodes)
 TEST(Pipeline, EveryNodeInExactlyOneLocalSchedule)
 {
     const auto pattern = buildPattern(makeQaoaMaxcut(8, 3));
-    DcMbqcCompiler compiler(makeConfig(4, 7));
-    const auto result = compiler.compile(pattern);
+    const auto result = compileDc(makeOptions(4, 7), pattern);
     std::size_t total = 0;
     for (const auto &local : result.localSchedules)
         total += local.nodeLayer.size();
@@ -84,8 +107,7 @@ TEST(Pipeline, EveryNodeInExactlyOneLocalSchedule)
 TEST(Pipeline, ConnectorCountMatchesPartitionCut)
 {
     const auto pattern = buildPattern(makeQft(7));
-    DcMbqcCompiler compiler(makeConfig(4, 7));
-    const auto result = compiler.compile(pattern);
+    const auto result = compileDc(makeOptions(4, 7), pattern);
     EXPECT_EQ(result.numConnectors,
               result.partition.numCutEdges(pattern.graph()));
 }
@@ -100,23 +122,19 @@ TEST(Pipeline, DistributionBeatsBaselineOnExecTime)
     const int grid_qft = gridSizeForQubits(12);
     const auto qft = buildPattern(makeQft(12));
     const auto qft_deps = realTimeDependencyGraph(qft);
-    SingleQpuConfig base_config;
-    base_config.grid.size = grid_qft;
-    const auto qft_base =
-        compileBaseline(qft.graph(), qft_deps, base_config);
-    const auto qft_dc = DcMbqcCompiler(makeConfig(8, grid_qft))
-                            .compile(qft.graph(), qft_deps);
+    const auto qft_base = compileBase(
+        CompileOptions().gridSize(grid_qft), qft.graph(), qft_deps);
+    const auto qft_dc =
+        compileDc(makeOptions(8, grid_qft), qft.graph(), qft_deps);
     EXPECT_LT(qft_dc.executionTime(), qft_base.executionTime());
 
     const int grid_rca = gridSizeForQubits(24);
     const auto rca = buildPattern(makeRippleCarryAdder(24));
     const auto rca_deps = realTimeDependencyGraph(rca);
-    SingleQpuConfig rca_config;
-    rca_config.grid.size = grid_rca;
-    const auto rca_base =
-        compileBaseline(rca.graph(), rca_deps, rca_config);
-    const auto rca_dc = DcMbqcCompiler(makeConfig(8, grid_rca))
-                            .compile(rca.graph(), rca_deps);
+    const auto rca_base = compileBase(
+        CompileOptions().gridSize(grid_rca), rca.graph(), rca_deps);
+    const auto rca_dc =
+        compileDc(makeOptions(8, grid_rca), rca.graph(), rca_deps);
     EXPECT_LT(rca_dc.executionTime(), rca_base.executionTime());
     EXPECT_LT(rca_dc.requiredLifetime(), rca_base.requiredLifetime());
 }
@@ -125,10 +143,9 @@ TEST(Pipeline, MoreQpusNotSlower)
 {
     const auto pattern = buildPattern(makeVqe(8));
     const auto deps = realTimeDependencyGraph(pattern);
-    const auto two =
-        DcMbqcCompiler(makeConfig(2, 7)).compile(pattern.graph(), deps);
+    const auto two = compileDc(makeOptions(2, 7), pattern.graph(), deps);
     const auto eight =
-        DcMbqcCompiler(makeConfig(8, 7)).compile(pattern.graph(), deps);
+        compileDc(makeOptions(8, 7), pattern.graph(), deps);
     EXPECT_LE(eight.executionTime(), two.executionTime());
 }
 
@@ -136,8 +153,7 @@ TEST(Pipeline, SingleQpuDegeneratesToBaselineShape)
 {
     // With k=1 there are no connectors and tau_remote is 0.
     const auto pattern = buildPattern(makeQft(5));
-    DcMbqcCompiler compiler(makeConfig(1, 7));
-    const auto result = compiler.compile(pattern);
+    const auto result = compileDc(makeOptions(1, 7), pattern);
     EXPECT_EQ(result.numConnectors, 0);
     EXPECT_EQ(result.metrics.tauRemote, 0);
 }
@@ -145,8 +161,7 @@ TEST(Pipeline, SingleQpuDegeneratesToBaselineShape)
 TEST(Pipeline, MetricsAreCoherent)
 {
     const auto pattern = buildPattern(makeQaoaMaxcut(9, 5));
-    DcMbqcCompiler compiler(makeConfig(4, 7));
-    const auto result = compiler.compile(pattern);
+    const auto result = compileDc(makeOptions(4, 7), pattern);
     EXPECT_EQ(result.requiredLifetime(),
               std::max(result.metrics.tauLocal,
                        result.metrics.tauRemote));
@@ -160,14 +175,12 @@ TEST(Pipeline, BdirNotWorseThanListOnly)
     const auto pattern = buildPattern(makeQft(9));
     const auto deps = realTimeDependencyGraph(pattern);
 
-    auto with = makeConfig(4, 7);
-    with.useBdir = true;
-    auto without = makeConfig(4, 7);
-    without.useBdir = false;
+    const auto with = makeOptions(4, 7);
+    auto without = makeOptions(4, 7);
+    without.useBdir(false);
 
-    const auto a = DcMbqcCompiler(with).compile(pattern.graph(), deps);
-    const auto b =
-        DcMbqcCompiler(without).compile(pattern.graph(), deps);
+    const auto a = compileDc(with, pattern.graph(), deps);
+    const auto b = compileDc(without, pattern.graph(), deps);
     EXPECT_LE(a.requiredLifetime(), b.requiredLifetime());
 }
 
@@ -175,8 +188,7 @@ TEST(Pipeline, WorksWithEveryResourceState)
 {
     const auto pattern = buildPattern(makeQaoaMaxcut(6, 9));
     for (auto type : allResourceStateTypes) {
-        DcMbqcCompiler compiler(makeConfig(4, 7, type));
-        const auto result = compiler.compile(pattern);
+        const auto result = compileDc(makeOptions(4, 7, type), pattern);
         EXPECT_GT(result.executionTime(), 0)
             << resourceStateInfo(type).name();
     }
@@ -185,12 +197,31 @@ TEST(Pipeline, WorksWithEveryResourceState)
 TEST(Pipeline, DeterministicEndToEnd)
 {
     const auto pattern = buildPattern(makeQft(7));
-    DcMbqcCompiler compiler(makeConfig(4, 7));
-    const auto a = compiler.compile(pattern);
-    const auto b = compiler.compile(pattern);
+    const auto options = makeOptions(4, 7);
+    const auto a = compileDc(options, pattern);
+    const auto b = compileDc(options, pattern);
     EXPECT_EQ(a.executionTime(), b.executionTime());
     EXPECT_EQ(a.requiredLifetime(), b.requiredLifetime());
     EXPECT_EQ(a.partition.assignment(), b.partition.assignment());
+}
+
+TEST(Pipeline, StageReportCoversAllPasses)
+{
+    const auto pattern = buildPattern(makeQft(6));
+    auto report = CompilerDriver(makeOptions(4, 7))
+                      .compile(CompileRequest::fromPattern(pattern));
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    std::vector<std::string> names;
+    for (const auto &stage : report->stages)
+        names.push_back(stage.pass);
+    const std::vector<std::string> expected = {
+        "PatternBuild", "Partition", "PlaceLocal", "ScheduleList",
+        "RefineBdir"};
+    EXPECT_EQ(names, expected);
+    for (const auto &stage : report->stages) {
+        EXPECT_TRUE(stage.status.ok()) << stage.pass;
+        EXPECT_GE(stage.millis, 0.0) << stage.pass;
+    }
 }
 
 } // namespace

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include "api/api.hh"
+#include "driver_helpers.hh"
 #include "circuit/generators.hh"
 #include "core/list_scheduler.hh"
-#include "core/pipeline.hh"
+#include "core/lsp_builder.hh"
 #include "mbqc/dependency.hh"
 #include "mbqc/pattern_builder.hh"
 #include "photonic/grid.hh"
@@ -45,16 +47,18 @@ TEST_P(PipelineSweep, ScheduleFeasibleAndMetricsCoherent)
     const auto pattern = buildPattern(make(family, qubits));
     const auto deps = realTimeDependencyGraph(pattern);
 
-    DcMbqcConfig config;
-    config.numQpus = qpus;
-    config.grid.size = gridSizeForQubits(qubits);
-    config.grid.resourceState = rstype;
-    DcMbqcCompiler compiler(config);
-    const auto result = compiler.compile(pattern.graph(), deps);
+    const auto options = CompileOptions()
+                             .numQpus(qpus)
+                             .gridSize(gridSizeForQubits(qubits))
+                             .resourceState(rstype);
+    auto report = CompilerDriver(options).compile(
+        CompileRequest::fromGraph(pattern.graph(), deps));
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    const auto &result = report->result();
 
     // Feasibility of the final schedule.
-    const auto lsp =
-        compiler.buildLsp(pattern.graph(), deps, result.partition);
+    const auto lsp = test::rebuildLsp(options, pattern.graph(), deps,
+                                      result.partition);
     std::string why;
     ASSERT_TRUE(validateSchedule(lsp, result.schedule, &why)) << why;
 
@@ -103,8 +107,11 @@ TEST_P(BaselineSweep, PlacementInvariants)
     SingleQpuConfig config;
     config.grid.size = gridSizeForQubits(qubits);
     config.grid.resourceState = rstype;
-    const auto result =
-        compileBaseline(pattern.graph(), deps, config);
+    auto report = CompilerDriver(CompileOptions::fromConfig(config))
+                      .compileBaseline(CompileRequest::fromGraph(
+                          pattern.graph(), deps));
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    const auto &result = report->baselineResult();
 
     // Every node placed exactly once, layers consistent.
     std::vector<int> count(pattern.numNodes(), 0);
