@@ -10,10 +10,14 @@
 #ifndef DCMBQC_BENCH_COMMON_HH
 #define DCMBQC_BENCH_COMMON_HH
 
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "api/api.hh"
+#include "cache/compile_cache.hh"
 #include "circuit/circuit.hh"
 #include "circuit/generators.hh"
 #include "common/logging.hh"
@@ -24,6 +28,39 @@
 
 namespace dcmbqc::bench
 {
+
+/**
+ * Process-wide compile cache shared by every harness compilation.
+ * Set DCMBQC_CACHE_DIR to add a persistent disk tier: re-running a
+ * table/figure bench then replays all schedules from artifacts
+ * instead of recompiling (cold runs are unaffected — every result
+ * is still produced by the real pipeline once).
+ */
+inline const std::shared_ptr<CompileCache> &
+benchCache()
+{
+    static const std::shared_ptr<CompileCache> cache = [] {
+        CacheConfig config;
+        config.capacity = 512;
+        if (const char *dir = std::getenv("DCMBQC_CACHE_DIR"))
+            config.diskDir = dir;
+        return std::make_shared<CompileCache>(config);
+    }();
+    return cache;
+}
+
+/** One-line hit/miss footer for the bench binaries. */
+inline void
+printCacheFooter()
+{
+    const CacheStats stats = benchCache()->stats();
+    std::printf("\ncompile cache: %llu hits, %llu misses"
+                " (%llu from disk; set DCMBQC_CACHE_DIR to persist"
+                " artifacts across runs)\n",
+                (unsigned long long)stats.hits,
+                (unsigned long long)stats.misses,
+                (unsigned long long)stats.diskHits);
+}
 
 /** Benchmark program families of Table II. */
 enum class Family { Vqe, Qaoa, Qft, Rca };
@@ -124,7 +161,8 @@ makeRequest(const Prepared &p)
 inline DcMbqcResult
 compileDc(const Prepared &p, const DcMbqcConfig &config)
 {
-    const CompilerDriver driver(CompileOptions::fromConfig(config));
+    const CompilerDriver driver(
+        CompileOptions::fromConfig(config).cache(benchCache()));
     auto report = driver.compile(makeRequest(p));
     if (!report.ok())
         fatal("bench compile ", p.name, ": ",
@@ -136,7 +174,8 @@ compileDc(const Prepared &p, const DcMbqcConfig &config)
 inline BaselineResult
 compileBase(const Prepared &p, const SingleQpuConfig &config)
 {
-    const CompilerDriver driver(CompileOptions::fromConfig(config));
+    const CompilerDriver driver(
+        CompileOptions::fromConfig(config).cache(benchCache()));
     auto report = driver.compileBaseline(makeRequest(p));
     if (!report.ok())
         fatal("bench baseline ", p.name, ": ",

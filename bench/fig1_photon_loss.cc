@@ -8,10 +8,12 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "common/table.hh"
 #include "photonic/loss_model.hh"
 
 using namespace dcmbqc;
+using namespace dcmbqc::bench;
 
 int
 main()
@@ -50,5 +52,34 @@ main()
     std::printf("  max cycles for 5%% loss @1 ns     : %.0f "
                 "(paper: ~5000)\n",
                 fast.maxCyclesForLossBudget(0.05));
+
+    // Ground the storage-loss curve in compiled schedules: the
+    // required lifetime of QFT-16 under the monolithic baseline vs
+    // DC-MBQC (4 QPUs), and the loss each implies per cycle period.
+    const auto p = prepare(Family::Qft, 16);
+    const auto base =
+        compileBase(p, baselineConfig(p.gridSize));
+    const auto dc = compileDc(p, paperConfig(4, p.gridSize));
+
+    TextTable compiled({"schedule", "lifetime", "loss @100 ns",
+                        "loss @10 ns", "loss @1 ns"});
+    for (const auto &[name, tau] :
+         {std::pair<const char *, int>{"baseline (1 QPU)",
+                                       base.requiredLifetime()},
+          std::pair<const char *, int>{"DC-MBQC (4 QPUs)",
+                                       dc.requiredLifetime()}}) {
+        compiled.row()
+            .cell(name)
+            .cell(tau)
+            .cell(slow.lossProbability(tau), 4)
+            .cell(mid.lossProbability(tau), 4)
+            .cell(fast.lossProbability(tau), 4);
+    }
+    std::printf("\n%s",
+                compiled
+                    .render("Compiled QFT-16: required lifetime and "
+                            "implied storage loss")
+                    .c_str());
+    printCacheFooter();
     return 0;
 }

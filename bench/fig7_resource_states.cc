@@ -44,5 +44,6 @@ main()
                     .render("Figure 7b: required-lifetime improvement "
                             "factor by resource state (4 QPUs)")
                     .c_str());
+    printCacheFooter();
     return 0;
 }

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Micro-benchmark of the content-addressed compile cache: wall-clock
+ * of the full pipeline vs the cache hit path (decode + replay) for
+ * each benchmark family, plus the batch-level effect of deduplicating
+ * a request mix with many repeats. Plain chrono harness so it builds
+ * without google-benchmark.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "cache/compile_cache.hh"
+#include "common/table.hh"
+
+using namespace dcmbqc;
+using namespace dcmbqc::bench;
+
+namespace
+{
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Average compile wall-clock over `reps` calls. */
+double
+timeCompiles(const CompilerDriver &driver,
+             const CompileRequest &request, int reps)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+        auto report = driver.compile(request);
+        if (!report.ok())
+            fatal("micro_cache: ", report.status().toString());
+    }
+    return millisSince(start) / reps;
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable table({"Program", "pipeline ms", "hit ms", "speedup",
+                     "artifact KB"});
+
+    for (Family family :
+         {Family::Qaoa, Family::Vqe, Family::Qft, Family::Rca}) {
+        const auto p = prepare(family, 36);
+        const auto request = makeRequest(p);
+        const auto config = paperConfig(4, p.gridSize);
+
+        const CompilerDriver cold(
+            CompileOptions::fromConfig(config).seed(3));
+        const double pipeline_ms = timeCompiles(cold, request, 3);
+
+        auto cache = std::make_shared<CompileCache>();
+        const CompilerDriver warm(
+            CompileOptions::fromConfig(config).seed(3).cache(cache));
+        auto first = warm.compile(request);
+        if (!first.ok())
+            fatal("micro_cache: ", first.status().toString());
+        if (first->cacheHit)
+            fatal("micro_cache: first compile must be a miss");
+        const double hit_ms = timeCompiles(warm, request, 20);
+        const auto bytes = cache->lookup(first->cacheKey);
+        if (!bytes)
+            fatal("micro_cache: warmed key missing");
+
+        table.row()
+            .cell(p.name)
+            .cell(pipeline_ms, 3)
+            .cell(hit_ms, 3)
+            .cell(hit_ms > 0 ? pipeline_ms / hit_ms : 0.0, 1)
+            .cell(static_cast<double>(bytes->size()) / 1024.0, 1);
+    }
+    std::printf("%s\n",
+                table
+                    .render("Compile cache: full pipeline vs hit "
+                            "path (4 QPUs, Section V-A defaults)")
+                    .c_str());
+
+    // Batch with duplicates: 4 unique programs, 8 copies each.
+    std::vector<CompileRequest> mix;
+    std::vector<Prepared> prepared;
+    for (Family family :
+         {Family::Qaoa, Family::Vqe, Family::Qft, Family::Rca})
+        prepared.push_back(prepare(family, 25));
+    for (int copy = 0; copy < 8; ++copy)
+        for (const auto &p : prepared)
+            mix.push_back(makeRequest(p));
+    const auto config = paperConfig(4, prepared[0].gridSize);
+
+    const CompilerDriver plain(
+        CompileOptions::fromConfig(config).seed(5));
+    auto start = std::chrono::steady_clock::now();
+    plain.compileBatch(mix, 4);
+    const double uncached_ms = millisSince(start);
+
+    auto cache = std::make_shared<CompileCache>();
+    const CompilerDriver deduped(
+        CompileOptions::fromConfig(config).seed(5).cache(cache));
+    start = std::chrono::steady_clock::now();
+    deduped.compileBatch(mix, 4);
+    const double cached_ms = millisSince(start);
+    const CacheStats stats = cache->stats();
+
+    std::printf("batch of %zu requests (4 unique): uncached %.1f ms, "
+                "cached %.1f ms (%.1fx), %llu hits / %llu misses\n",
+                mix.size(), uncached_ms, cached_ms,
+                cached_ms > 0 ? uncached_ms / cached_ms : 0.0,
+                (unsigned long long)stats.hits,
+                (unsigned long long)stats.misses);
+    return 0;
+}

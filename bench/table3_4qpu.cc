@@ -46,5 +46,6 @@ main()
         "%s",
         table.render("Table III: DC-MBQC vs baseline, 4 QPUs, 5-star")
             .c_str());
+    printCacheFooter();
     return 0;
 }

@@ -46,5 +46,6 @@ main()
         "%s",
         table.render("Table IV: DC-MBQC vs baseline, 8 QPUs, 4-ring")
             .c_str());
+    printCacheFooter();
     return 0;
 }

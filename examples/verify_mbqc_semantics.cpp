@@ -7,12 +7,16 @@
  * simulator, and compares against the circuit unitary. It also
  * verifies graph-state stabilizers of the compiled pattern on the
  * Aaronson-Gottesman tableau simulator -- scalable to thousands of
- * photons.
+ * photons -- and cross-checks each program end-to-end through the
+ * pass-based CompilerDriver, asserting via the Status channel
+ * instead of aborting.
  */
 
 #include <cstdio>
 
+#include "api/api.hh"
 #include "circuit/generators.hh"
+#include "photonic/grid.hh"
 #include "common/rng.hh"
 #include "mbqc/pattern_builder.hh"
 #include "sim/pattern_runner.hh"
@@ -23,6 +27,42 @@ using namespace dcmbqc;
 
 namespace
 {
+
+int failures = 0;
+
+/**
+ * Compile the pattern through the driver and check, via Status
+ * rather than an abort, that the pipeline accepts it and schedules
+ * every photon exactly once across the QPUs.
+ */
+void
+checkCompiles(const Circuit &circuit, const Pattern &pattern)
+{
+    const CompilerDriver driver(CompileOptions()
+                                    .numQpus(2)
+                                    .gridSize(gridSizeForQubits(
+                                        circuit.numQubits()))
+                                    .seed(5));
+    auto report = driver.compile(
+        CompileRequest::fromPattern(pattern, circuit.name()));
+    if (!report.ok()) {
+        std::printf("  %-8s driver REJECTED pattern: %s\n",
+                    circuit.name().c_str(),
+                    report.status().toString().c_str());
+        ++failures;
+        return;
+    }
+    long long scheduled = 0;
+    for (const auto &local : report->result().localSchedules)
+        for (const auto &layer : local.layers)
+            scheduled += static_cast<long long>(layer.nodes.size());
+    if (scheduled != pattern.numNodes()) {
+        std::printf("  %-8s schedule covers %lld of %d photons\n",
+                    circuit.name().c_str(), scheduled,
+                    pattern.numNodes());
+        ++failures;
+    }
+}
 
 void
 checkCircuit(const Circuit &circuit)
@@ -47,6 +87,12 @@ checkCircuit(const Circuit &circuit)
                 circuit.name().c_str(), pattern.numNodes(),
                 pattern.graph().numEdges(), peak_width,
                 min_fidelity);
+    if (min_fidelity < 1.0 - 1e-9) {
+        std::printf("  %-8s fidelity below tolerance\n",
+                    circuit.name().c_str());
+        ++failures;
+    }
+    checkCompiles(circuit, pattern);
 }
 
 void
@@ -66,6 +112,8 @@ checkStabilizersAtScale()
     std::printf("\ngraph-state stabilizer check (RCA-16): %d / %d "
                 "generators verified on %d photons\n",
                 verified, g.numNodes(), g.numNodes());
+    if (verified != g.numNodes())
+        ++failures;
 }
 
 } // namespace
@@ -80,5 +128,10 @@ main()
     checkCircuit(makeVqe(4));
     checkCircuit(makeRippleCarryAdder(6));
     checkStabilizersAtScale();
+    if (failures > 0) {
+        std::printf("\n%d check(s) FAILED\n", failures);
+        return 1;
+    }
+    std::printf("\nall checks passed\n");
     return 0;
 }

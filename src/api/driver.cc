@@ -6,8 +6,13 @@
 #include <mutex>
 #include <sstream>
 
+#include <unordered_map>
+
 #include "api/passes.hh"
 #include "api/thread_pool.hh"
+#include "cache/cache_key.hh"
+#include "cache/compile_cache.hh"
+#include "serialize/codecs.hh"
 
 namespace dcmbqc
 {
@@ -134,7 +139,8 @@ CompilerDriver::compileBaseline(const CompileRequest &request) const
 
 Expected<CompileReport>
 CompilerDriver::compileImpl(const CompileRequest &request,
-                            bool baseline) const
+                            bool baseline,
+                            const CacheKeyPair *key_hint) const
 {
     Status status = request.validate();
     if (!status.ok())
@@ -146,6 +152,35 @@ CompilerDriver::compileImpl(const CompileRequest &request,
     auto config = options_.build(&report.warnings);
     if (!config.ok())
         return config.status();
+
+    CompileCache *cache = options_.cacheStore().get();
+    CacheKeyPair key;
+    if (cache) {
+        key = key_hint ? *key_hint
+                       : computeCacheKey(request, *config, baseline);
+        if (auto bytes = cache->lookup(key.key)) {
+            auto cached = decodeCompileReportArtifact(*bytes);
+            // The stored verifier must match: a 64-bit key collision
+            // with different content is a miss, never a replay of a
+            // foreign schedule. A corrupted entry (e.g. a damaged
+            // disk-tier file) equally falls through to a recompile
+            // that overwrites it.
+            if (cached.ok() &&
+                cached->cacheVerifier == key.verifier) {
+                CompileReport replay = std::move(cached.value());
+                // Label is report metadata, not part of the content
+                // address; reflect the *current* request's label.
+                replay.label = request.label();
+                replay.cacheHit = true;
+                replay.cacheKey = key.key;
+                replay.cacheStats = cache->stats();
+                return replay;
+            }
+            // Unusable entry: reclassify the lookup as a miss and
+            // drop it so the counters match what really happened.
+            cache->discard(key.key);
+        }
+    }
 
     PassContext ctx;
     ctx.config = *config;
@@ -201,6 +236,13 @@ CompilerDriver::compileImpl(const CompileRequest &request,
         result.schedule = std::move(*ctx.schedule);
         report.distributed = std::move(result);
     }
+
+    if (cache) {
+        report.cacheKey = key.key;
+        report.cacheVerifier = key.verifier;
+        cache->insert(key.key, encodeCompileReportArtifact(report));
+        report.cacheStats = cache->stats();
+    }
     return report;
 }
 
@@ -221,13 +263,52 @@ CompilerDriver::compileBatch(
                                   : ThreadPool::defaultNumThreads();
     threads = std::min<int>(threads, static_cast<int>(n));
 
-    ThreadPool pool(threads);
-    for (std::size_t i = 0; i < n; ++i) {
-        pool.submit([this, &requests, &results, i] {
-            // Distinct slots: no synchronization needed on write.
-            results[i] = compile(requests[i]);
-        });
+    // With a cache attached, duplicate requests are content-equal
+    // and must not race each other through the pipeline: only the
+    // first occurrence of every key is submitted in the first pool
+    // round; the duplicates run as a second pool round and hit the
+    // freshly warmed cache, skipping every pass. The keys derived
+    // here are handed down so compileImpl does not re-serialize the
+    // payloads.
+    std::vector<CacheKeyPair> keys;
+    std::vector<std::size_t> unique_indices;
+    std::vector<std::size_t> duplicate_indices;
+    unique_indices.reserve(n);
+    if (options_.cacheStore()) {
+        auto normalized = options_.build();
+        if (normalized.ok()) {
+            keys.resize(n);
+            std::unordered_map<std::uint64_t, std::size_t> first_seen;
+            for (std::size_t i = 0; i < n; ++i) {
+                keys[i] = computeCacheKey(requests[i], *normalized,
+                                          /*baseline=*/false);
+                if (first_seen.emplace(keys[i].key, i).second)
+                    unique_indices.push_back(i);
+                else
+                    duplicate_indices.push_back(i);
+            }
+        }
     }
+    const bool keyed = !keys.empty();
+    if (!keyed) {
+        unique_indices.clear();
+        for (std::size_t i = 0; i < n; ++i)
+            unique_indices.push_back(i);
+    }
+
+    ThreadPool pool(threads);
+    const auto submit = [&](std::size_t i) {
+        pool.submit([this, &requests, &results, &keys, keyed, i] {
+            // Distinct slots: no synchronization needed on write.
+            results[i] = compileImpl(requests[i], /*baseline=*/false,
+                                     keyed ? &keys[i] : nullptr);
+        });
+    };
+    for (std::size_t i : unique_indices)
+        submit(i);
+    pool.wait();
+    for (std::size_t i : duplicate_indices)
+        submit(i);
     pool.wait();
     return results;
 }

@@ -18,6 +18,7 @@
 #define DCMBQC_API_DRIVER_HH
 
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "api/pass.hh"
 #include "api/request.hh"
 #include "api/status.hh"
+#include "cache/cache_key.hh"
+#include "cache/compile_cache.hh"
 #include "core/pipeline.hh"
 
 namespace dcmbqc
@@ -54,6 +57,33 @@ struct CompileReport
 
     /** Total wall-clock across all passes. */
     double totalMillis = 0.0;
+
+    /**
+     * True when this report was replayed from the compile cache; no
+     * pass ran and `stages` holds the *original* compilation's
+     * stage timings.
+     */
+    bool cacheHit = false;
+
+    /**
+     * Content address of the (request, normalized config, seed)
+     * triple; 0 when the driver ran without a cache.
+     */
+    std::uint64_t cacheKey = 0;
+
+    /**
+     * Independent second hash of the same triple, stored in the
+     * cached artifact and re-checked on every hit so a 64-bit key
+     * collision cannot replay a foreign schedule. Internal collision
+     * guard; 0 when the driver ran without a cache.
+     */
+    std::uint64_t cacheVerifier = 0;
+
+    /**
+     * Cache counter snapshot taken right after this call's cache
+     * interaction; absent when the driver ran without a cache.
+     */
+    std::optional<CacheStats> cacheStats;
 
     /** Distributed result accessor (panics when absent). */
     const DcMbqcResult &result() const;
@@ -111,8 +141,15 @@ class CompilerDriver
                  int num_threads = 0) const;
 
   private:
-    Expected<CompileReport> compileImpl(const CompileRequest &request,
-                                        bool baseline) const;
+    /**
+     * @param key_hint Precomputed cache key pair for this (request,
+     *        options) pair, or null to compute it here. compileBatch
+     *        passes the keys it already derived for deduplication so
+     *        each payload is serialized only once.
+     */
+    Expected<CompileReport>
+    compileImpl(const CompileRequest &request, bool baseline,
+                const CacheKeyPair *key_hint = nullptr) const;
 
     CompileOptions options_;
     std::vector<PassObserver *> observers_;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "cache/compile_cache.hh"
+
 namespace dcmbqc
 {
 
@@ -131,6 +133,13 @@ CompileOptions::seed(std::uint64_t seed)
 {
     config_.partition.seed = seed;
     config_.bdir.seed = seed;
+    return *this;
+}
+
+CompileOptions &
+CompileOptions::cache(std::shared_ptr<CompileCache> cache)
+{
+    cache_ = std::move(cache);
     return *this;
 }
 

@@ -20,6 +20,7 @@
 #define DCMBQC_API_OPTIONS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@
 
 namespace dcmbqc
 {
+
+class CompileCache;
 
 /** Fluent builder over the full compiler configuration. */
 class CompileOptions
@@ -73,6 +76,23 @@ class CompileOptions
     CompileOptions &seed(std::uint64_t seed);
 
     /**
+     * Attach a content-addressed compile cache. Every compile call
+     * through a driver built from these options first looks up the
+     * serialized (request, normalized config, seed) triple and, on a
+     * hit, replays the stored schedule bit-identically without
+     * running any pass; misses run the pipeline and populate the
+     * cache. One cache instance may be shared across drivers and
+     * batch workers (it is thread-safe). Pass nullptr to detach.
+     */
+    CompileOptions &cache(std::shared_ptr<CompileCache> cache);
+
+    /** The attached cache; null when caching is disabled. */
+    const std::shared_ptr<CompileCache> &cacheStore() const
+    {
+        return cache_;
+    }
+
+    /**
      * Check every field against its documented domain. Returns
      * InvalidConfig listing *all* violations (semicolon-separated)
      * rather than just the first, so a service can report the full
@@ -96,6 +116,7 @@ class CompileOptions
 
   private:
     DcMbqcConfig config_;
+    std::shared_ptr<CompileCache> cache_;
 };
 
 } // namespace dcmbqc

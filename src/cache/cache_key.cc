@@ -1,0 +1,41 @@
+#include "cache/cache_key.hh"
+
+#include "serialize/binary.hh"
+#include "serialize/codecs.hh"
+
+namespace dcmbqc
+{
+
+CacheKeyPair
+computeCacheKey(const CompileRequest &request,
+                const DcMbqcConfig &config, bool baseline)
+{
+    BinaryWriter writer;
+    writer.writeU32(compileCacheEpoch);
+    writer.writeU16(artifactFormatVersion);
+    writer.writeU8(baseline ? 1 : 0);
+    writer.writeU8(static_cast<std::uint8_t>(request.entryPoint()));
+    switch (request.entryPoint()) {
+      case CompileRequest::EntryPoint::Circuit:
+        encodeCircuit(writer, request.circuit());
+        break;
+      case CompileRequest::EntryPoint::Pattern:
+        encodePattern(writer, request.pattern());
+        break;
+      case CompileRequest::EntryPoint::Graph:
+        encodeGraph(writer, request.graph());
+        encodeDigraph(writer, request.deps());
+        break;
+    }
+    encodeConfig(writer, config);
+    CacheKeyPair pair;
+    pair.key = fnv1a64(writer.bytes().data(), writer.bytes().size());
+    // Independent second hash (different offset basis): one 64-bit
+    // collision must not be enough to replay a foreign schedule.
+    pair.verifier = fnv1a64(writer.bytes().data(),
+                            writer.bytes().size(),
+                            0x6c62272e07bb0142ull);
+    return pair;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Content address of one compilation: the 64-bit FNV-1a hash of the
+ * serialized (request payload, normalized config, pipeline flavor)
+ * triple. Everything that can change the compiled schedule is in the
+ * hash — the full entry-point payload (circuit / pattern /
+ * graph+deps), every config field including both stochastic-pass
+ * seeds, and whether the baseline or the distributed pipeline runs.
+ * The request *label* is deliberately excluded: it is report
+ * metadata, and two identically shaped requests must share a cache
+ * line regardless of how they are labeled.
+ */
+
+#ifndef DCMBQC_CACHE_CACHE_KEY_HH
+#define DCMBQC_CACHE_CACHE_KEY_HH
+
+#include <cstdint>
+
+#include "api/request.hh"
+#include "core/pipeline.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Compilation-semantics epoch mixed into every cache key. Bump this
+ * whenever a pass algorithm changes in a way that alters compiled
+ * schedules (new scheduler heuristic, different annealing moves...)
+ * so persistent disk caches from older binaries miss instead of
+ * silently replaying stale schedules. The artifact format version
+ * only guards *encoding layout*; this guards *compiler behavior*.
+ */
+inline constexpr std::uint32_t compileCacheEpoch = 1;
+
+/**
+ * The content address of one compile call plus an independent
+ * verifier hash over the same serialized triple (different FNV
+ * offset basis). The key selects the cache line; the verifier is
+ * stored inside the cached artifact and re-checked on every hit so
+ * an accidental or constructed 64-bit key collision is detected and
+ * treated as a miss instead of replaying the wrong schedule.
+ */
+struct CacheKeyPair
+{
+    std::uint64_t key = 0;
+    std::uint64_t verifier = 0;
+};
+
+/**
+ * Compute the content-addressed cache key of one compile call.
+ *
+ * @param request A *valid* request (the driver hashes only after
+ *        request validation succeeds).
+ * @param config The normalized config (CompileOptions::build output),
+ *        so partition.k aliasing cannot split cache lines.
+ * @param baseline True for the monolithic baseline pipeline.
+ */
+CacheKeyPair computeCacheKey(const CompileRequest &request,
+                             const DcMbqcConfig &config,
+                             bool baseline);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_CACHE_CACHE_KEY_HH

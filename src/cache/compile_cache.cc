@@ -1,0 +1,187 @@
+#include "cache/compile_cache.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "serialize/artifact.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+/** 16-hex-digit, zero-padded key name (stable across platforms). */
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
+CompileCache::CompileCache(CacheConfig config)
+    : config_(std::move(config))
+{
+    if (!config_.diskDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.diskDir, ec);
+        if (ec) {
+            warn("compile cache: cannot create disk store ",
+                 config_.diskDir, " (", ec.message(),
+                 "); continuing memory-only");
+            config_.diskDir.clear();
+        }
+    }
+}
+
+std::string
+CompileCache::diskPath(std::uint64_t key) const
+{
+    if (config_.diskDir.empty())
+        return {};
+    return config_.diskDir + "/" + hexKey(key) + ".dcmbqc";
+}
+
+void
+CompileCache::touch(std::list<Entry>::iterator it)
+{
+    lru_.splice(lru_.begin(), lru_, it);
+}
+
+std::optional<std::vector<std::uint8_t>>
+CompileCache::lookup(std::uint64_t key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            touch(it->second);
+            ++stats_.hits;
+            return it->second->second;
+        }
+        if (config_.diskDir.empty()) {
+            ++stats_.misses;
+            return std::nullopt;
+        }
+    }
+
+    // Disk tier. The file read and envelope validation run outside
+    // the lock so slow storage never serializes batch workers.
+    const std::string path = diskPath(key);
+    auto bytes = loadArtifactFile(path);
+    const bool valid = bytes.ok() && openArtifact(*bytes).ok();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!valid) {
+        // A readable-but-invalid entry is damage, not a hit:
+        // self-heal by dropping the file and report a miss so the
+        // caller recompiles and overwrites it.
+        if (bytes.ok())
+            std::remove(path.c_str());
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    ++stats_.diskHits;
+    // Promote into the memory tier.
+    insertLocked(key, *bytes);
+    return std::move(bytes.value());
+}
+
+void
+CompileCache::insertLocked(std::uint64_t key,
+                           std::vector<std::uint8_t> bytes)
+{
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = std::move(bytes);
+        touch(it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(bytes));
+    index_[key] = lru_.begin();
+    if (config_.capacity > 0 && lru_.size() > config_.capacity) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+void
+CompileCache::insert(std::uint64_t key, std::vector<std::uint8_t> bytes)
+{
+    bool disk_written = false;
+    if (!config_.diskDir.empty()) {
+        // Write outside the lock; a temp file unique across threads
+        // AND processes (pid + counter) plus an atomic rename keeps
+        // concurrent writers of the same content-addressed key from
+        // tearing each other's files.
+        static std::atomic<unsigned> temp_counter{0};
+        const std::string path = diskPath(key);
+        const std::string temp = path + ".tmp" +
+            std::to_string(static_cast<long>(::getpid())) + "." +
+            std::to_string(temp_counter.fetch_add(1));
+        if (saveArtifactFile(temp, bytes).ok() &&
+            std::rename(temp.c_str(), path.c_str()) == 0)
+            disk_written = true;
+        else
+            std::remove(temp.c_str());
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (disk_written)
+        ++stats_.diskWrites;
+    insertLocked(key, std::move(bytes));
+}
+
+void
+CompileCache::discard(std::uint64_t key)
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            lru_.erase(it->second);
+            index_.erase(it);
+        }
+        if (stats_.hits > 0)
+            --stats_.hits;
+        ++stats_.misses;
+        path = diskPath(key);
+    }
+    if (!path.empty())
+        std::remove(path.c_str());
+}
+
+CacheStats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+}
+
+} // namespace dcmbqc

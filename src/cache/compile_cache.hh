@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Content-addressed compile cache. Entries are keyed by the 64-bit
+ * FNV-1a hash of the serialized (request payload, normalized config,
+ * seeds) triple — see cache/cache_key.hh — and hold the serialized
+ * compile-report artifact, so a hit replays a previous compilation
+ * bit-identically without running any pass.
+ *
+ * Two tiers:
+ *  - an in-memory LRU map bounded by `CacheConfig::capacity`;
+ *  - an optional on-disk store (`CacheConfig::diskDir`): every entry
+ *    is written as `<dir>/<16-hex-key>.dcmbqc`, a regular artifact
+ *    file that `dcmbqc inspect` can open directly. Memory misses
+ *    fall through to disk and promote back into the LRU tier.
+ *
+ * All operations are thread-safe; `CompilerDriver::compileBatch`
+ * workers share one instance.
+ */
+
+#ifndef DCMBQC_CACHE_COMPILE_CACHE_HH
+#define DCMBQC_CACHE_COMPILE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dcmbqc
+{
+
+/** Tuning knobs of a CompileCache. */
+struct CacheConfig
+{
+    /** Max in-memory entries; 0 means unbounded. */
+    std::size_t capacity = 128;
+
+    /** On-disk store directory; empty disables the disk tier. */
+    std::string diskDir;
+};
+
+/** Monotonic operation counters (snapshot via stats()). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t diskWrites = 0;
+};
+
+/** Thread-safe LRU + disk store of serialized compile artifacts. */
+class CompileCache
+{
+  public:
+    explicit CompileCache(CacheConfig config = {});
+
+    const CacheConfig &config() const { return config_; }
+
+    /**
+     * Fetch the artifact bytes stored under `key`, bumping it to
+     * most-recently-used. Falls through to the disk tier on a memory
+     * miss. Counts one hit or one miss per call.
+     */
+    std::optional<std::vector<std::uint8_t>>
+    lookup(std::uint64_t key);
+
+    /**
+     * Store artifact bytes under `key`, evicting the least recently
+     * used entry when over capacity, and mirroring to the disk tier
+     * when enabled. Re-inserting an existing key refreshes it.
+     */
+    void insert(std::uint64_t key, std::vector<std::uint8_t> bytes);
+
+    /**
+     * The caller could not use the entry the last lookup returned
+     * (undecodable payload, verifier mismatch on a key collision):
+     * drop it from both tiers and reclassify that hit as a miss so
+     * the counters describe what actually happened.
+     */
+    void discard(std::uint64_t key);
+
+    /** Counter snapshot. */
+    CacheStats stats() const;
+
+    /** Entries currently resident in the memory tier. */
+    std::size_t size() const;
+
+    /** Drop the memory tier (the disk store is left untouched). */
+    void clear();
+
+    /** `<diskDir>/<16-hex-key>.dcmbqc`; empty when disk disabled. */
+    std::string diskPath(std::uint64_t key) const;
+
+  private:
+    using Entry = std::pair<std::uint64_t, std::vector<std::uint8_t>>;
+
+    void touch(std::list<Entry>::iterator it);
+    void insertLocked(std::uint64_t key,
+                      std::vector<std::uint8_t> bytes);
+
+    CacheConfig config_;
+    mutable std::mutex mutex_;
+    CacheStats stats_;
+
+    /** Front = most recently used. */
+    std::list<Entry> lru_;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+        index_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_CACHE_COMPILE_CACHE_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Endianness-stable binary encoding primitives of the artifact
+ * format. `BinaryWriter` appends explicitly little-endian fixed-width
+ * fields to a byte buffer; `BinaryReader` is the bounds-checked
+ * mirror that never reads past the end: the first violation latches
+ * an error Status and turns every subsequent read into a zero-value
+ * no-op, so decoders can run to completion and report the failure
+ * once through the Expected channel instead of asserting.
+ */
+
+#ifndef DCMBQC_SERIALIZE_BINARY_HH
+#define DCMBQC_SERIALIZE_BINARY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.hh"
+
+namespace dcmbqc
+{
+
+/** 64-bit FNV-1a hash (the artifact checksum / cache-key hash). */
+std::uint64_t fnv1a64(const std::uint8_t *data, std::size_t size,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** Appends little-endian fields to a growable byte buffer. */
+class BinaryWriter
+{
+  public:
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+    std::size_t size() const { return bytes_.size(); }
+
+    void writeU8(std::uint8_t value) { bytes_.push_back(value); }
+    void writeU16(std::uint16_t value);
+    void writeU32(std::uint32_t value);
+    void writeU64(std::uint64_t value);
+    void writeI32(std::int32_t value);
+    void writeI64(std::int64_t value);
+
+    /** IEEE-754 bit pattern, little-endian (stable across hosts). */
+    void writeF64(double value);
+
+    /** u32 byte length + raw bytes. */
+    void writeString(const std::string &value);
+
+    /** u32 element count + little-endian elements. */
+    void writeI32Vector(const std::vector<std::int32_t> &values);
+    void writeF64Vector(const std::vector<double> &values);
+
+    /** Raw bytes, no length prefix (for nested payloads). */
+    void writeBytes(const std::uint8_t *data, std::size_t size);
+
+    /** Patch a previously written u64 in place (size back-fill). */
+    void patchU64(std::size_t offset, std::uint64_t value);
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Bounds-checked little-endian reader over a borrowed byte range.
+ * After the first out-of-bounds read, `ok()` is false and all
+ * further reads return zero values.
+ */
+class BinaryReader
+{
+  public:
+    BinaryReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit BinaryReader(const std::vector<std::uint8_t> &bytes)
+        : BinaryReader(bytes.data(), bytes.size())
+    {
+    }
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+    /** Latch a decoder-level error (corruption found by a codec). */
+    void fail(const std::string &message);
+
+    std::uint8_t readU8();
+    std::uint16_t readU16();
+    std::uint32_t readU32();
+    std::uint64_t readU64();
+    std::int32_t readI32();
+    std::int64_t readI64();
+    double readF64();
+    std::string readString();
+    std::vector<std::int32_t> readI32Vector();
+    std::vector<double> readF64Vector();
+
+    /**
+     * Read a u32 element count and verify the remaining bytes can
+     * hold that many elements of `element_size` bytes; returns 0 and
+     * latches an error otherwise (guards against allocation bombs
+     * from corrupted length fields).
+     */
+    std::uint32_t readCount(std::size_t element_size);
+
+  private:
+    bool require(std::size_t bytes);
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    Status status_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_SERIALIZE_BINARY_HH

@@ -1,0 +1,850 @@
+#include "serialize/codecs.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+// --- Shared helpers --------------------------------------------------------
+
+Status
+statusFromCode(StatusCode code, std::string message)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return Status::okStatus();
+      case StatusCode::InvalidArgument:
+        return Status::invalidArgument(std::move(message));
+      case StatusCode::InvalidConfig:
+        return Status::invalidConfig(std::move(message));
+      case StatusCode::FailedPrecondition:
+        return Status::failedPrecondition(std::move(message));
+      case StatusCode::Internal:
+        return Status::internal(std::move(message));
+    }
+    return Status::internal(std::move(message));
+}
+
+void
+encodeStatus(BinaryWriter &writer, const Status &status)
+{
+    writer.writeU8(static_cast<std::uint8_t>(status.code()));
+    writer.writeString(status.message());
+}
+
+Status
+decodeStatus(BinaryReader &reader)
+{
+    const std::uint8_t code = reader.readU8();
+    std::string message = reader.readString();
+    if (code > static_cast<std::uint8_t>(StatusCode::Internal)) {
+        reader.fail("invalid status code tag " + std::to_string(code));
+        return Status::okStatus();
+    }
+    return statusFromCode(static_cast<StatusCode>(code),
+                          std::move(message));
+}
+
+void
+encodeGridSpec(BinaryWriter &writer, const GridSpec &grid)
+{
+    writer.writeI32(grid.size);
+    writer.writeU8(static_cast<std::uint8_t>(grid.resourceState));
+    writer.writeI32(grid.plRatio);
+    writer.writeI32(grid.reservedBoundary);
+}
+
+GridSpec
+decodeGridSpec(BinaryReader &reader)
+{
+    GridSpec grid;
+    grid.size = reader.readI32();
+    const std::uint8_t state = reader.readU8();
+    if (state > static_cast<std::uint8_t>(ResourceStateType::Star7))
+        reader.fail("invalid resource-state tag " +
+                    std::to_string(state));
+    else
+        grid.resourceState = static_cast<ResourceStateType>(state);
+    grid.plRatio = reader.readI32();
+    grid.reservedBoundary = reader.readI32();
+    return grid;
+}
+
+void
+encodePartitioning(BinaryWriter &writer, const Partitioning &part)
+{
+    writer.writeI32(part.numParts());
+    writer.writeI32Vector(part.assignment());
+}
+
+Partitioning
+decodePartitioning(BinaryReader &reader)
+{
+    const int k = reader.readI32();
+    const std::vector<std::int32_t> assignment =
+        reader.readI32Vector();
+    if (!reader.ok())
+        return {};
+    if (k < 1) {
+        reader.fail("partition k must be >= 1, got " +
+                    std::to_string(k));
+        return {};
+    }
+    for (int p : assignment) {
+        if (p < 0 || p >= k) {
+            reader.fail("partition assignment " + std::to_string(p) +
+                        " outside [0, " + std::to_string(k) + ")");
+            return {};
+        }
+    }
+    return Partitioning(std::vector<int>(assignment.begin(),
+                                         assignment.end()),
+                        k);
+}
+
+void
+encodeMetrics(BinaryWriter &writer, const ScheduleMetrics &metrics)
+{
+    writer.writeI32(metrics.tauLocal);
+    writer.writeI32(metrics.tauRemote);
+    writer.writeI32(metrics.makespan);
+}
+
+ScheduleMetrics
+decodeMetrics(BinaryReader &reader)
+{
+    ScheduleMetrics metrics;
+    metrics.tauLocal = reader.readI32();
+    metrics.tauRemote = reader.readI32();
+    metrics.makespan = reader.readI32();
+    return metrics;
+}
+
+void
+encodeDcResult(BinaryWriter &writer, const DcMbqcResult &result)
+{
+    encodePartitioning(writer, result.partition);
+    writer.writeF64(result.partitionModularity);
+    writer.writeF64(result.partitionImbalance);
+    writer.writeI32(result.numConnectors);
+    writer.writeU32(
+        static_cast<std::uint32_t>(result.localSchedules.size()));
+    for (const auto &local : result.localSchedules)
+        encodeLocalSchedule(writer, local);
+    encodeSchedule(writer, result.schedule);
+    encodeMetrics(writer, result.metrics);
+}
+
+DcMbqcResult
+decodeDcResult(BinaryReader &reader)
+{
+    DcMbqcResult result;
+    result.partition = decodePartitioning(reader);
+    result.partitionModularity = reader.readF64();
+    result.partitionImbalance = reader.readF64();
+    result.numConnectors = reader.readI32();
+    const std::uint32_t locals = reader.readCount(1);
+    for (std::uint32_t i = 0; i < locals && reader.ok(); ++i)
+        result.localSchedules.push_back(decodeLocalSchedule(reader));
+    result.schedule = decodeSchedule(reader);
+    result.metrics = decodeMetrics(reader);
+    return result;
+}
+
+void
+encodeBaselineResult(BinaryWriter &writer,
+                     const BaselineResult &result)
+{
+    encodeLocalSchedule(writer, result.schedule);
+    writer.writeI32(result.lifetime.tauFusee);
+    writer.writeI32(result.lifetime.tauMeasuree);
+}
+
+BaselineResult
+decodeBaselineResult(BinaryReader &reader)
+{
+    BaselineResult result;
+    result.schedule = decodeLocalSchedule(reader);
+    result.lifetime.tauFusee = reader.readI32();
+    result.lifetime.tauMeasuree = reader.readI32();
+    return result;
+}
+
+/**
+ * The flow-derived X/Z dependency sets, computed without asserts so
+ * the decoder can diff them against the embedded copies instead of
+ * aborting on corrupted input. Mirrors buildDependencyGraphs().
+ */
+void
+flowDependencies(const Pattern &pattern, Digraph &x, Digraph &z)
+{
+    const NodeId n = pattern.numNodes();
+    x = Digraph(n);
+    z = Digraph(n);
+    for (NodeId m = 0; m < n; ++m) {
+        if (pattern.isOutput(m))
+            continue;
+        const NodeId succ = pattern.flow(m);
+        if (!pattern.isOutput(succ))
+            x.addArc(m, succ);
+        for (const auto &adj : pattern.graph().adjacency(succ)) {
+            const NodeId j = adj.neighbor;
+            if (j == m || pattern.isOutput(j))
+                continue;
+            z.addArc(m, j);
+        }
+    }
+}
+
+bool
+sameDigraph(const Digraph &a, const Digraph &b)
+{
+    if (a.numNodes() != b.numNodes() || a.numArcs() != b.numArcs())
+        return false;
+    for (NodeId u = 0; u < a.numNodes(); ++u)
+        if (a.successors(u) != b.successors(u))
+            return false;
+    return true;
+}
+
+template <typename T, typename Decode>
+Expected<T>
+decodeArtifactAs(ArtifactKind kind,
+                 const std::vector<std::uint8_t> &bytes,
+                 Decode decode)
+{
+    auto view = openArtifact(bytes);
+    if (!view.ok())
+        return view.status();
+    if (view->kind != kind)
+        return Status::invalidArgument(
+            std::string("artifact kind mismatch: expected ") +
+            artifactKindName(kind) + ", found " +
+            artifactKindName(view->kind));
+    BinaryReader reader(view->payload, view->payloadSize);
+    T value = decode(reader);
+    if (!reader.ok())
+        return reader.status();
+    if (!reader.atEnd())
+        return Status::invalidArgument(
+            "artifact corrupted: " +
+            std::to_string(reader.remaining()) +
+            " trailing payload bytes");
+    return value;
+}
+
+template <typename Encode>
+std::vector<std::uint8_t>
+sealPayload(ArtifactKind kind, Encode encode)
+{
+    BinaryWriter writer;
+    encode(writer);
+    return sealArtifact(kind, writer.bytes());
+}
+
+} // namespace
+
+// --- Circuit ---------------------------------------------------------------
+
+void
+encodeCircuit(BinaryWriter &writer, const Circuit &circuit)
+{
+    writer.writeI32(circuit.numQubits());
+    writer.writeString(circuit.name());
+    writer.writeU32(static_cast<std::uint32_t>(circuit.numGates()));
+    for (const Gate &gate : circuit.gates()) {
+        writer.writeU8(static_cast<std::uint8_t>(gate.kind));
+        writer.writeI32(gate.q0);
+        writer.writeI32(gate.q1);
+        writer.writeI32(gate.q2);
+        writer.writeF64(gate.angle);
+    }
+}
+
+Circuit
+decodeCircuit(BinaryReader &reader)
+{
+    const int qubits = reader.readI32();
+    std::string name = reader.readString();
+    if (!reader.ok())
+        return Circuit(1);
+    if (qubits < 1) {
+        reader.fail("circuit qubit count must be >= 1, got " +
+                    std::to_string(qubits));
+        return Circuit(1);
+    }
+    Circuit circuit(qubits, std::move(name));
+    const std::uint32_t gates = reader.readCount(21);
+    for (std::uint32_t i = 0; i < gates && reader.ok(); ++i) {
+        Gate gate;
+        const std::uint8_t kind = reader.readU8();
+        gate.q0 = reader.readI32();
+        gate.q1 = reader.readI32();
+        gate.q2 = reader.readI32();
+        gate.angle = reader.readF64();
+        if (!reader.ok())
+            break;
+        if (kind > static_cast<std::uint8_t>(GateKind::CCX)) {
+            reader.fail("invalid gate kind tag " +
+                        std::to_string(kind));
+            break;
+        }
+        gate.kind = static_cast<GateKind>(kind);
+        const QubitId used[3] = {gate.q0, gate.q1, gate.q2};
+        bool valid = true;
+        for (int q = 0; q < gate.arity(); ++q)
+            valid &= used[q] >= 0 && used[q] < qubits;
+        if (!valid) {
+            reader.fail("gate " + std::to_string(i) +
+                        " addresses a qubit outside [0, " +
+                        std::to_string(qubits) + ")");
+            break;
+        }
+        circuit.append(gate);
+    }
+    return circuit;
+}
+
+// --- Graph / Digraph -------------------------------------------------------
+
+void
+encodeGraph(BinaryWriter &writer, const Graph &graph)
+{
+    writer.writeI32(graph.numNodes());
+    for (NodeId u = 0; u < graph.numNodes(); ++u)
+        writer.writeI32(graph.nodeWeight(u));
+    writer.writeU32(static_cast<std::uint32_t>(graph.numEdges()));
+    for (const Edge &e : graph.edges()) {
+        writer.writeI32(e.u);
+        writer.writeI32(e.v);
+        writer.writeI32(e.weight);
+    }
+}
+
+Graph
+decodeGraph(BinaryReader &reader)
+{
+    const NodeId n = reader.readI32();
+    if (!reader.ok())
+        return {};
+    if (n < 0 ||
+        static_cast<std::uint64_t>(n) * 4 > reader.remaining()) {
+        reader.fail("graph node count " + std::to_string(n) +
+                    " is invalid for the payload size");
+        return {};
+    }
+    Graph graph;
+    for (NodeId u = 0; u < n; ++u)
+        graph.addNode(reader.readI32());
+    const std::uint32_t edges = reader.readCount(12);
+    for (std::uint32_t i = 0; i < edges && reader.ok(); ++i) {
+        const NodeId u = reader.readI32();
+        const NodeId v = reader.readI32();
+        const int weight = reader.readI32();
+        if (!reader.ok())
+            break;
+        if (u < 0 || u >= n || v < 0 || v >= n || u == v) {
+            reader.fail("graph edge " + std::to_string(i) + " (" +
+                        std::to_string(u) + ", " + std::to_string(v) +
+                        ") is invalid for " + std::to_string(n) +
+                        " nodes");
+            break;
+        }
+        graph.addEdge(u, v, weight);
+    }
+    return graph;
+}
+
+void
+encodeDigraph(BinaryWriter &writer, const Digraph &digraph)
+{
+    writer.writeI32(digraph.numNodes());
+    for (NodeId u = 0; u < digraph.numNodes(); ++u)
+        writer.writeI32Vector(digraph.successors(u));
+}
+
+Digraph
+decodeDigraph(BinaryReader &reader)
+{
+    const NodeId n = reader.readI32();
+    if (!reader.ok())
+        return {};
+    if (n < 0 ||
+        static_cast<std::uint64_t>(n) * 4 > reader.remaining()) {
+        reader.fail("digraph node count " + std::to_string(n) +
+                    " is invalid for the payload size");
+        return {};
+    }
+    Digraph digraph(n);
+    for (NodeId u = 0; u < n && reader.ok(); ++u) {
+        const std::vector<std::int32_t> succ = reader.readI32Vector();
+        for (NodeId v : succ) {
+            if (v < 0 || v >= n) {
+                reader.fail("digraph arc " + std::to_string(u) +
+                            " -> " + std::to_string(v) +
+                            " is out of range");
+                return digraph;
+            }
+            digraph.addArc(u, v);
+        }
+    }
+    return digraph;
+}
+
+// --- Pattern ---------------------------------------------------------------
+
+void
+encodePattern(BinaryWriter &writer, const Pattern &pattern)
+{
+    encodeGraph(writer, pattern.graph());
+    const NodeId n = pattern.numNodes();
+    std::vector<double> angles(n);
+    std::vector<std::int32_t> flow(n), wires(n);
+    for (NodeId u = 0; u < n; ++u) {
+        angles[u] = pattern.angle(u);
+        flow[u] = pattern.flow(u);
+        wires[u] = pattern.wire(u);
+    }
+    writer.writeF64Vector(angles);
+    writer.writeI32Vector(flow);
+    writer.writeI32Vector(wires);
+    writer.writeI32Vector(pattern.measurementOrder());
+    writer.writeI32Vector(pattern.outputs());
+
+    Digraph x, z;
+    flowDependencies(pattern, x, z);
+    encodeDigraph(writer, x);
+    encodeDigraph(writer, z);
+}
+
+Pattern
+decodePattern(BinaryReader &reader)
+{
+    const Graph graph = decodeGraph(reader);
+    const std::vector<double> angles = reader.readF64Vector();
+    const std::vector<std::int32_t> flow = reader.readI32Vector();
+    const std::vector<std::int32_t> wires = reader.readI32Vector();
+    const std::vector<std::int32_t> order = reader.readI32Vector();
+    const std::vector<std::int32_t> outputs = reader.readI32Vector();
+    if (!reader.ok())
+        return {};
+
+    const NodeId n = graph.numNodes();
+    const auto sized = [n](const auto &v) {
+        return static_cast<NodeId>(v.size()) == n;
+    };
+    if (!sized(angles) || !sized(flow) || !sized(wires)) {
+        reader.fail("pattern per-node vectors disagree with the "
+                    "graph's " +
+                    std::to_string(n) + " nodes");
+        return {};
+    }
+    if (static_cast<NodeId>(order.size() + outputs.size()) != n) {
+        reader.fail("pattern corrupted: " +
+                    std::to_string(order.size()) + " measured + " +
+                    std::to_string(outputs.size()) +
+                    " outputs != " + std::to_string(n) + " nodes");
+        return {};
+    }
+    const int num_wires = static_cast<int>(outputs.size());
+    std::vector<char> measured(n, 0);
+    for (NodeId u : order) {
+        if (u < 0 || u >= n || measured[u]) {
+            reader.fail("pattern measurement order is not a set of "
+                        "distinct node ids");
+            return {};
+        }
+        measured[u] = 1;
+        if (flow[u] < 0 || flow[u] >= n || !graph.hasEdge(u, flow[u])) {
+            reader.fail("flow successor of node " + std::to_string(u) +
+                        " is not a graph neighbor");
+            return {};
+        }
+    }
+    for (NodeId out : outputs) {
+        if (out < 0 || out >= n || measured[out] ||
+            flow[out] != invalidNode) {
+            reader.fail("pattern output list is inconsistent with "
+                        "flow");
+            return {};
+        }
+    }
+    for (NodeId u = 0; u < n; ++u) {
+        if (!measured[u] && flow[u] != invalidNode) {
+            reader.fail("unmeasured node " + std::to_string(u) +
+                        " carries a flow successor");
+            return {};
+        }
+        if (wires[u] < 0 || wires[u] >= num_wires) {
+            reader.fail("wire of node " + std::to_string(u) +
+                        " outside [0, " + std::to_string(num_wires) +
+                        ")");
+            return {};
+        }
+    }
+
+    Pattern pattern;
+    for (NodeId u = 0; u < n; ++u)
+        pattern.addNode(wires[u]);
+    for (const Edge &e : graph.edges())
+        pattern.mutableGraph().addEdge(e.u, e.v, e.weight);
+    for (NodeId u : order)
+        pattern.setMeasurement(u, angles[u], flow[u]);
+    pattern.setOutputs(
+        std::vector<NodeId>(outputs.begin(), outputs.end()));
+
+    // The embedded X/Z dependency sets must match the flow-derived
+    // ones; a mismatch means payload corruption the envelope
+    // checksum cannot attribute.
+    const Digraph x_stored = decodeDigraph(reader);
+    const Digraph z_stored = decodeDigraph(reader);
+    if (!reader.ok())
+        return {};
+    Digraph x, z;
+    flowDependencies(pattern, x, z);
+    if (!sameDigraph(x, x_stored) || !sameDigraph(z, z_stored)) {
+        reader.fail("embedded X/Z dependency sets disagree with the "
+                    "decoded causal flow");
+        return {};
+    }
+    if (!x.isAcyclic()) {
+        reader.fail("pattern X-dependency graph is cyclic");
+        return {};
+    }
+    return pattern;
+}
+
+// --- Config ----------------------------------------------------------------
+
+void
+encodeConfig(BinaryWriter &writer, const DcMbqcConfig &config)
+{
+    writer.writeI32(config.numQpus);
+    encodeGridSpec(writer, config.grid);
+    writer.writeI32(config.kmax);
+    writer.writeI32(config.partition.k);
+    writer.writeF64(config.partition.epsilonQ);
+    writer.writeF64(config.partition.alphaMax);
+    writer.writeF64(config.partition.gamma);
+    writer.writeI32(config.partition.maxIterations);
+    writer.writeU64(config.partition.seed);
+    writer.writeU8(config.useBdir ? 1 : 0);
+    writer.writeF64(config.bdir.initialTemperature);
+    writer.writeF64(config.bdir.coolingRate);
+    writer.writeI32(config.bdir.maxIterations);
+    writer.writeU64(config.bdir.seed);
+    writer.writeU8(static_cast<std::uint8_t>(config.order));
+}
+
+DcMbqcConfig
+decodeConfig(BinaryReader &reader)
+{
+    DcMbqcConfig config;
+    config.numQpus = reader.readI32();
+    config.grid = decodeGridSpec(reader);
+    config.kmax = reader.readI32();
+    config.partition.k = reader.readI32();
+    config.partition.epsilonQ = reader.readF64();
+    config.partition.alphaMax = reader.readF64();
+    config.partition.gamma = reader.readF64();
+    config.partition.maxIterations = reader.readI32();
+    config.partition.seed = reader.readU64();
+    config.useBdir = reader.readU8() != 0;
+    config.bdir.initialTemperature = reader.readF64();
+    config.bdir.coolingRate = reader.readF64();
+    config.bdir.maxIterations = reader.readI32();
+    config.bdir.seed = reader.readU64();
+    const std::uint8_t order = reader.readU8();
+    if (order >
+        static_cast<std::uint8_t>(PlacementOrder::DependencyAwareRcm))
+        reader.fail("invalid placement-order tag " +
+                    std::to_string(order));
+    else
+        config.order = static_cast<PlacementOrder>(order);
+    return config;
+}
+
+// --- Schedules -------------------------------------------------------------
+
+void
+encodeLocalSchedule(BinaryWriter &writer, const LocalSchedule &schedule)
+{
+    encodeGridSpec(writer, schedule.grid);
+    writer.writeU32(static_cast<std::uint32_t>(schedule.layers.size()));
+    for (const ExecutionLayer &layer : schedule.layers) {
+        writer.writeI32Vector(layer.nodes);
+        writer.writeI32(layer.computeCells);
+        writer.writeI32(layer.routingCells);
+    }
+    writer.writeI32Vector(schedule.nodeLayer);
+    writer.writeI64(schedule.routingFusions);
+    writer.writeI64(schedule.edgeFusions);
+}
+
+LocalSchedule
+decodeLocalSchedule(BinaryReader &reader)
+{
+    LocalSchedule schedule;
+    schedule.grid = decodeGridSpec(reader);
+    const std::uint32_t layers = reader.readCount(12);
+    for (std::uint32_t i = 0; i < layers && reader.ok(); ++i) {
+        ExecutionLayer layer;
+        layer.nodes = reader.readI32Vector();
+        layer.computeCells = reader.readI32();
+        layer.routingCells = reader.readI32();
+        schedule.layers.push_back(std::move(layer));
+    }
+    schedule.nodeLayer = reader.readI32Vector();
+    schedule.routingFusions = reader.readI64();
+    schedule.edgeFusions = reader.readI64();
+    for (LayerId layer : schedule.nodeLayer) {
+        if (layer != invalidLayer &&
+            (layer < 0 ||
+             layer >= static_cast<LayerId>(schedule.layers.size()))) {
+            reader.fail("nodeLayer entry " + std::to_string(layer) +
+                        " outside the " +
+                        std::to_string(schedule.layers.size()) +
+                        " layers");
+            break;
+        }
+    }
+    return schedule;
+}
+
+void
+encodeSchedule(BinaryWriter &writer, const Schedule &schedule)
+{
+    writer.writeI32Vector(schedule.mainStart);
+    writer.writeI32Vector(schedule.syncStart);
+    writer.writeI32(schedule.makespan);
+}
+
+Schedule
+decodeSchedule(BinaryReader &reader)
+{
+    Schedule schedule;
+    schedule.mainStart = reader.readI32Vector();
+    schedule.syncStart = reader.readI32Vector();
+    schedule.makespan = reader.readI32();
+    return schedule;
+}
+
+// --- CompileReport ---------------------------------------------------------
+
+void
+encodeCompileReport(BinaryWriter &writer, const CompileReport &report)
+{
+    writer.writeString(report.label);
+    std::uint8_t flags = 0;
+    if (report.distributed)
+        flags |= 1;
+    if (report.baseline)
+        flags |= 2;
+    if (report.cacheHit)
+        flags |= 4;
+    if (report.cacheStats)
+        flags |= 8;
+    writer.writeU8(flags);
+    if (report.distributed)
+        encodeDcResult(writer, *report.distributed);
+    if (report.baseline)
+        encodeBaselineResult(writer, *report.baseline);
+    writer.writeU32(static_cast<std::uint32_t>(report.stages.size()));
+    for (const StageReport &stage : report.stages) {
+        writer.writeString(stage.pass);
+        writer.writeF64(stage.millis);
+        encodeStatus(writer, stage.status);
+        writer.writeString(stage.note);
+    }
+    writer.writeU32(
+        static_cast<std::uint32_t>(report.warnings.size()));
+    for (const std::string &warning : report.warnings)
+        writer.writeString(warning);
+    writer.writeF64(report.totalMillis);
+    writer.writeU64(report.cacheKey);
+    writer.writeU64(report.cacheVerifier);
+    if (report.cacheStats) {
+        writer.writeU64(report.cacheStats->hits);
+        writer.writeU64(report.cacheStats->misses);
+        writer.writeU64(report.cacheStats->evictions);
+        writer.writeU64(report.cacheStats->diskHits);
+        writer.writeU64(report.cacheStats->diskWrites);
+    }
+}
+
+CompileReport
+decodeCompileReport(BinaryReader &reader)
+{
+    CompileReport report;
+    report.label = reader.readString();
+    const std::uint8_t flags = reader.readU8();
+    // Every legitimately encoded report carries exactly the flags
+    // this version writes, and always one result payload; anything
+    // else is a corrupted or handcrafted artifact.
+    if ((flags & ~0x0f) != 0 || (flags & 3) == 0) {
+        reader.fail("compile-report flags byte " +
+                    std::to_string(flags) +
+                    " is invalid (no result payload)");
+        return report;
+    }
+    if (flags & 1)
+        report.distributed = decodeDcResult(reader);
+    if (flags & 2)
+        report.baseline = decodeBaselineResult(reader);
+    report.cacheHit = (flags & 4) != 0;
+    const std::uint32_t stages = reader.readCount(1);
+    for (std::uint32_t i = 0; i < stages && reader.ok(); ++i) {
+        StageReport stage;
+        stage.pass = reader.readString();
+        stage.millis = reader.readF64();
+        stage.status = decodeStatus(reader);
+        stage.note = reader.readString();
+        report.stages.push_back(std::move(stage));
+    }
+    const std::uint32_t warnings = reader.readCount(1);
+    for (std::uint32_t i = 0; i < warnings && reader.ok(); ++i)
+        report.warnings.push_back(reader.readString());
+    report.totalMillis = reader.readF64();
+    report.cacheKey = reader.readU64();
+    report.cacheVerifier = reader.readU64();
+    if (flags & 8) {
+        CacheStats stats;
+        stats.hits = reader.readU64();
+        stats.misses = reader.readU64();
+        stats.evictions = reader.readU64();
+        stats.diskHits = reader.readU64();
+        stats.diskWrites = reader.readU64();
+        report.cacheStats = stats;
+    }
+    return report;
+}
+
+// --- Artifact wrappers -----------------------------------------------------
+
+std::vector<std::uint8_t>
+encodeCircuitArtifact(const Circuit &circuit)
+{
+    return sealPayload(ArtifactKind::Circuit, [&](BinaryWriter &w) {
+        encodeCircuit(w, circuit);
+    });
+}
+
+Expected<Circuit>
+decodeCircuitArtifact(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeArtifactAs<Circuit>(ArtifactKind::Circuit, bytes,
+                                     decodeCircuit);
+}
+
+std::vector<std::uint8_t>
+encodeGraphArtifact(const Graph &graph)
+{
+    return sealPayload(ArtifactKind::Graph, [&](BinaryWriter &w) {
+        encodeGraph(w, graph);
+    });
+}
+
+Expected<Graph>
+decodeGraphArtifact(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeArtifactAs<Graph>(ArtifactKind::Graph, bytes,
+                                   decodeGraph);
+}
+
+std::vector<std::uint8_t>
+encodeDigraphArtifact(const Digraph &digraph)
+{
+    return sealPayload(ArtifactKind::Digraph, [&](BinaryWriter &w) {
+        encodeDigraph(w, digraph);
+    });
+}
+
+Expected<Digraph>
+decodeDigraphArtifact(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeArtifactAs<Digraph>(ArtifactKind::Digraph, bytes,
+                                     decodeDigraph);
+}
+
+std::vector<std::uint8_t>
+encodePatternArtifact(const Pattern &pattern)
+{
+    return sealPayload(ArtifactKind::Pattern, [&](BinaryWriter &w) {
+        encodePattern(w, pattern);
+    });
+}
+
+Expected<Pattern>
+decodePatternArtifact(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeArtifactAs<Pattern>(ArtifactKind::Pattern, bytes,
+                                     decodePattern);
+}
+
+std::vector<std::uint8_t>
+encodeConfigArtifact(const DcMbqcConfig &config)
+{
+    return sealPayload(ArtifactKind::Config, [&](BinaryWriter &w) {
+        encodeConfig(w, config);
+    });
+}
+
+Expected<DcMbqcConfig>
+decodeConfigArtifact(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeArtifactAs<DcMbqcConfig>(ArtifactKind::Config, bytes,
+                                          decodeConfig);
+}
+
+std::vector<std::uint8_t>
+encodeLocalScheduleArtifact(const LocalSchedule &schedule)
+{
+    return sealPayload(ArtifactKind::LocalSchedule,
+                       [&](BinaryWriter &w) {
+                           encodeLocalSchedule(w, schedule);
+                       });
+}
+
+Expected<LocalSchedule>
+decodeLocalScheduleArtifact(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeArtifactAs<LocalSchedule>(ArtifactKind::LocalSchedule,
+                                           bytes, decodeLocalSchedule);
+}
+
+std::vector<std::uint8_t>
+encodeScheduleArtifact(const Schedule &schedule)
+{
+    return sealPayload(ArtifactKind::Schedule, [&](BinaryWriter &w) {
+        encodeSchedule(w, schedule);
+    });
+}
+
+Expected<Schedule>
+decodeScheduleArtifact(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeArtifactAs<Schedule>(ArtifactKind::Schedule, bytes,
+                                      decodeSchedule);
+}
+
+std::vector<std::uint8_t>
+encodeCompileReportArtifact(const CompileReport &report)
+{
+    return sealPayload(ArtifactKind::CompileReport,
+                       [&](BinaryWriter &w) {
+                           encodeCompileReport(w, report);
+                       });
+}
+
+Expected<CompileReport>
+decodeCompileReportArtifact(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeArtifactAs<CompileReport>(ArtifactKind::CompileReport,
+                                           bytes, decodeCompileReport);
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,513 @@
+#include "serialize/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "mbqc/dependency.hh"
+#include "photonic/resource_state.hh"
+
+namespace dcmbqc
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newline()
+{
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+}
+
+void
+JsonWriter::prefix()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (!firstInScope_)
+        out_ += ',';
+    if (depth_ > 0)
+        newline();
+    firstInScope_ = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prefix();
+    out_ += '{';
+    ++depth_;
+    firstInScope_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    --depth_;
+    if (!firstInScope_)
+        newline();
+    out_ += '}';
+    firstInScope_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prefix();
+    out_ += '[';
+    ++depth_;
+    firstInScope_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    --depth_;
+    if (!firstInScope_)
+        newline();
+    out_ += ']';
+    firstInScope_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    prefix();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\": ";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    prefix();
+    out_ += '"';
+    out_ += jsonEscape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    prefix();
+    if (std::isfinite(number)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", number);
+        out_ += buf;
+    } else {
+        out_ += "null";
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(long long number)
+{
+    prefix();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned long long number)
+{
+    prefix();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    prefix();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+namespace
+{
+
+void
+writeI32Array(JsonWriter &json, const std::vector<std::int32_t> &values)
+{
+    json.beginArray();
+    for (std::int32_t v : values)
+        json.value(v);
+    json.endArray();
+}
+
+void
+writeStringArray(JsonWriter &json, const std::vector<std::string> &values)
+{
+    json.beginArray();
+    for (const std::string &v : values)
+        json.value(v);
+    json.endArray();
+}
+
+void
+writeGridSpec(JsonWriter &json, const GridSpec &grid)
+{
+    json.beginObject();
+    json.key("size").value(grid.size);
+    json.key("resourceState")
+        .value(resourceStateInfo(grid.resourceState).name());
+    json.key("plRatio").value(grid.plRatio);
+    json.key("reservedBoundary").value(grid.reservedBoundary);
+    json.endObject();
+}
+
+void
+writeDigraphArcs(JsonWriter &json, const Digraph &digraph)
+{
+    json.beginArray();
+    for (NodeId u = 0; u < digraph.numNodes(); ++u) {
+        for (NodeId v : digraph.successors(u)) {
+            json.beginArray();
+            json.value(u);
+            json.value(v);
+            json.endArray();
+        }
+    }
+    json.endArray();
+}
+
+void
+writeLocalScheduleBody(JsonWriter &json, const LocalSchedule &schedule)
+{
+    json.beginObject();
+    json.key("grid");
+    writeGridSpec(json, schedule.grid);
+    json.key("executionTime").value(schedule.executionTime());
+    json.key("physicalExecutionTime")
+        .value(schedule.physicalExecutionTime());
+    json.key("routingFusions").value(schedule.routingFusions);
+    json.key("edgeFusions").value(schedule.edgeFusions);
+    json.key("layers").beginArray();
+    for (const ExecutionLayer &layer : schedule.layers) {
+        json.beginObject();
+        json.key("computeCells").value(layer.computeCells);
+        json.key("routingCells").value(layer.routingCells);
+        json.key("nodes");
+        writeI32Array(json, layer.nodes);
+        json.endObject();
+    }
+    json.endArray();
+    json.key("nodeLayer");
+    writeI32Array(json, schedule.nodeLayer);
+    json.endObject();
+}
+
+void
+writeScheduleBody(JsonWriter &json, const Schedule &schedule)
+{
+    json.beginObject();
+    json.key("makespan").value(schedule.makespan);
+    json.key("mainStart");
+    writeI32Array(json, schedule.mainStart);
+    json.key("syncStart");
+    writeI32Array(json, schedule.syncStart);
+    json.endObject();
+}
+
+void
+writeCacheStats(JsonWriter &json, const CacheStats &stats)
+{
+    json.beginObject();
+    json.key("hits").value(
+        static_cast<unsigned long long>(stats.hits));
+    json.key("misses").value(
+        static_cast<unsigned long long>(stats.misses));
+    json.key("evictions").value(
+        static_cast<unsigned long long>(stats.evictions));
+    json.key("diskHits").value(
+        static_cast<unsigned long long>(stats.diskHits));
+    json.key("diskWrites").value(
+        static_cast<unsigned long long>(stats.diskWrites));
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+toJson(const Circuit &circuit)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("artifact").value("circuit");
+    json.key("name").value(circuit.name());
+    json.key("numQubits").value(circuit.numQubits());
+    json.key("numGates")
+        .value(static_cast<long long>(circuit.numGates()));
+    json.key("numTwoQubitGates")
+        .value(static_cast<long long>(circuit.numTwoQubitGates()));
+    json.key("depth").value(circuit.depth());
+    json.key("gates").beginArray();
+    for (const Gate &gate : circuit.gates()) {
+        json.beginObject();
+        json.key("kind").value(gateKindName(gate.kind));
+        json.key("qubits").beginArray();
+        const QubitId used[3] = {gate.q0, gate.q1, gate.q2};
+        for (int q = 0; q < gate.arity(); ++q)
+            json.value(used[q]);
+        json.endArray();
+        if (gate.angle != 0.0)
+            json.key("angle").value(gate.angle);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.take();
+}
+
+std::string
+toJson(const Pattern &pattern)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("artifact").value("pattern");
+    json.key("numNodes").value(pattern.numNodes());
+    json.key("numEdges").value(pattern.graph().numEdges());
+    json.key("numWires").value(pattern.numWires());
+    json.key("outputs");
+    writeI32Array(json, pattern.outputs());
+    json.key("measurementOrder");
+    writeI32Array(json, pattern.measurementOrder());
+    json.key("nodes").beginArray();
+    for (NodeId u = 0; u < pattern.numNodes(); ++u) {
+        json.beginObject();
+        json.key("id").value(u);
+        json.key("wire").value(pattern.wire(u));
+        if (pattern.isOutput(u)) {
+            json.key("output").value(true);
+        } else {
+            json.key("angle").value(pattern.angle(u));
+            json.key("flow").value(pattern.flow(u));
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.key("edges").beginArray();
+    for (const Edge &e : pattern.graph().edges()) {
+        json.beginArray();
+        json.value(e.u);
+        json.value(e.v);
+        json.endArray();
+    }
+    json.endArray();
+    const DependencyGraphs deps = buildDependencyGraphs(pattern);
+    json.key("xDependencies");
+    writeDigraphArcs(json, deps.xDeps);
+    json.key("zDependencies");
+    writeDigraphArcs(json, deps.zDeps);
+    json.endObject();
+    return json.take();
+}
+
+std::string
+toJson(const DcMbqcConfig &config)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("artifact").value("config");
+    json.key("numQpus").value(config.numQpus);
+    json.key("kmax").value(config.kmax);
+    json.key("grid");
+    writeGridSpec(json, config.grid);
+    json.key("partition").beginObject();
+    json.key("k").value(config.partition.k);
+    json.key("epsilonQ").value(config.partition.epsilonQ);
+    json.key("alphaMax").value(config.partition.alphaMax);
+    json.key("gamma").value(config.partition.gamma);
+    json.key("maxIterations").value(config.partition.maxIterations);
+    json.key("seed").value(
+        static_cast<unsigned long long>(config.partition.seed));
+    json.endObject();
+    json.key("useBdir").value(config.useBdir);
+    json.key("bdir").beginObject();
+    json.key("initialTemperature")
+        .value(config.bdir.initialTemperature);
+    json.key("coolingRate").value(config.bdir.coolingRate);
+    json.key("maxIterations").value(config.bdir.maxIterations);
+    json.key("seed").value(
+        static_cast<unsigned long long>(config.bdir.seed));
+    json.endObject();
+    json.key("placementOrder")
+        .value(config.order == PlacementOrder::Creation
+                   ? "creation"
+                   : "dependency-aware-rcm");
+    json.endObject();
+    return json.take();
+}
+
+std::string
+toJson(const LocalSchedule &schedule)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("artifact").value("local-schedule");
+    json.key("schedule");
+    writeLocalScheduleBody(json, schedule);
+    json.endObject();
+    return json.take();
+}
+
+std::string
+toJson(const Schedule &schedule)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("artifact").value("schedule");
+    json.key("schedule");
+    writeScheduleBody(json, schedule);
+    json.endObject();
+    return json.take();
+}
+
+std::string
+toJson(const Graph &graph)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("artifact").value("graph");
+    json.key("numNodes").value(graph.numNodes());
+    json.key("numEdges").value(graph.numEdges());
+    json.key("edges").beginArray();
+    for (const Edge &e : graph.edges()) {
+        json.beginArray();
+        json.value(e.u);
+        json.value(e.v);
+        json.value(e.weight);
+        json.endArray();
+    }
+    json.endArray();
+    json.endObject();
+    return json.take();
+}
+
+std::string
+toJson(const Digraph &digraph)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("artifact").value("digraph");
+    json.key("numNodes").value(digraph.numNodes());
+    json.key("numArcs")
+        .value(static_cast<long long>(digraph.numArcs()));
+    json.key("arcs");
+    writeDigraphArcs(json, digraph);
+    json.endObject();
+    return json.take();
+}
+
+std::string
+toJson(const CompileReport &report)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("artifact").value("compile-report");
+    json.key("label").value(report.label);
+    json.key("totalMillis").value(report.totalMillis);
+    json.key("cacheHit").value(report.cacheHit);
+    if (report.cacheKey != 0) {
+        char key[24];
+        std::snprintf(key, sizeof(key), "%016llx",
+                      static_cast<unsigned long long>(report.cacheKey));
+        json.key("cacheKey").value(key);
+    }
+    if (report.cacheStats) {
+        json.key("cacheStats");
+        writeCacheStats(json, *report.cacheStats);
+    }
+    json.key("warnings");
+    writeStringArray(json, report.warnings);
+    json.key("stages").beginArray();
+    for (const StageReport &stage : report.stages) {
+        json.beginObject();
+        json.key("pass").value(stage.pass);
+        json.key("millis").value(stage.millis);
+        json.key("status").value(stage.status.toString());
+        if (!stage.note.empty())
+            json.key("note").value(stage.note);
+        json.endObject();
+    }
+    json.endArray();
+    if (report.distributed) {
+        const DcMbqcResult &result = *report.distributed;
+        json.key("distributed").beginObject();
+        json.key("executionTime").value(result.executionTime());
+        json.key("requiredLifetime").value(result.requiredLifetime());
+        json.key("tauLocal").value(result.metrics.tauLocal);
+        json.key("tauRemote").value(result.metrics.tauRemote);
+        json.key("numConnectors").value(result.numConnectors);
+        json.key("partitionModularity")
+            .value(result.partitionModularity);
+        json.key("partitionImbalance")
+            .value(result.partitionImbalance);
+        json.key("partitionParts").value(result.partition.numParts());
+        json.key("partitionAssignment").beginArray();
+        for (int p : result.partition.assignment())
+            json.value(p);
+        json.endArray();
+        json.key("localSchedules").beginArray();
+        for (const LocalSchedule &local : result.localSchedules)
+            writeLocalScheduleBody(json, local);
+        json.endArray();
+        json.key("schedule");
+        writeScheduleBody(json, result.schedule);
+        json.endObject();
+    }
+    if (report.baseline) {
+        const BaselineResult &result = *report.baseline;
+        json.key("baseline").beginObject();
+        json.key("executionTime").value(result.executionTime());
+        json.key("requiredLifetime").value(result.requiredLifetime());
+        json.key("tauFusee").value(result.lifetime.tauFusee);
+        json.key("tauMeasuree").value(result.lifetime.tauMeasuree);
+        json.key("schedule");
+        writeLocalScheduleBody(json, result.schedule);
+        json.endObject();
+    }
+    json.endObject();
+    return json.take();
+}
+
+} // namespace dcmbqc

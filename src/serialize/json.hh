@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Human-readable JSON writers for the serialized IR types — the
+ * inspection side of the artifact subsystem (`dcmbqc inspect`).
+ * Writing only: artifacts interchange in the binary format; JSON is
+ * for humans and downstream tooling (jq, dashboards).
+ */
+
+#ifndef DCMBQC_SERIALIZE_JSON_HH
+#define DCMBQC_SERIALIZE_JSON_HH
+
+#include <string>
+
+#include "api/driver.hh"
+#include "circuit/circuit.hh"
+#include "compiler/execution_layer.hh"
+#include "core/pipeline.hh"
+#include "mbqc/pattern.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Minimal streaming JSON emitter with two-space indentation.
+ * Call sequence is the caller's responsibility (no schema checks);
+ * strings are escaped per RFC 8259.
+ */
+class JsonWriter
+{
+  public:
+    std::string take() { return std::move(out_); }
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Member key; must be followed by a value or container. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(long long number);
+    JsonWriter &value(int number) { return value((long long)number); }
+    JsonWriter &value(unsigned long long number);
+    JsonWriter &value(bool flag);
+
+  private:
+    void prefix();
+    void newline();
+
+    std::string out_;
+    int depth_ = 0;
+    bool firstInScope_ = true;
+    bool afterKey_ = false;
+};
+
+/** Escape a string for embedding in JSON output. */
+std::string jsonEscape(const std::string &text);
+
+// Pretty-printers for every artifact payload type --------------------------
+std::string toJson(const Circuit &circuit);
+std::string toJson(const Pattern &pattern);
+std::string toJson(const DcMbqcConfig &config);
+std::string toJson(const LocalSchedule &schedule);
+std::string toJson(const Schedule &schedule);
+std::string toJson(const CompileReport &report);
+std::string toJson(const Graph &graph);
+std::string toJson(const Digraph &digraph);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_SERIALIZE_JSON_HH

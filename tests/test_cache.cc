@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests of the content-addressed compile cache: a hit replays a
+ * bit-identical schedule while skipping every pass (verified with
+ * observer hooks and surfaced in CompileReport), LRU eviction,
+ * key sensitivity to seed/config/payload changes, the disk tier,
+ * and deterministic concurrent compileBatch with duplicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "api/api.hh"
+#include "cache/cache_key.hh"
+#include "cache/compile_cache.hh"
+#include "circuit/generators.hh"
+#include "serialize/codecs.hh"
+
+namespace dcmbqc
+{
+namespace
+{
+
+class PassCounter : public PassObserver
+{
+  public:
+    void
+    onPassEnd(const std::string &, const Pass &,
+              const StageReport &) override
+    {
+        ++passes;
+    }
+
+    int passes = 0;
+};
+
+void
+expectSameDistributedResult(const DcMbqcResult &a,
+                            const DcMbqcResult &b)
+{
+    EXPECT_EQ(a.partition.assignment(), b.partition.assignment());
+    EXPECT_EQ(a.schedule.mainStart, b.schedule.mainStart);
+    EXPECT_EQ(a.schedule.syncStart, b.schedule.syncStart);
+    EXPECT_EQ(a.schedule.makespan, b.schedule.makespan);
+    EXPECT_EQ(a.metrics.tauLocal, b.metrics.tauLocal);
+    EXPECT_EQ(a.metrics.tauRemote, b.metrics.tauRemote);
+    EXPECT_EQ(a.numConnectors, b.numConnectors);
+    ASSERT_EQ(a.localSchedules.size(), b.localSchedules.size());
+    for (std::size_t i = 0; i < a.localSchedules.size(); ++i) {
+        EXPECT_EQ(a.localSchedules[i].nodeLayer,
+                  b.localSchedules[i].nodeLayer);
+        EXPECT_EQ(a.localSchedules[i].edgeFusions,
+                  b.localSchedules[i].edgeFusions);
+        EXPECT_EQ(a.localSchedules[i].routingFusions,
+                  b.localSchedules[i].routingFusions);
+    }
+}
+
+TEST(CompileCacheApi, HitReplaysBitIdenticalScheduleWithoutPasses)
+{
+    auto cache = std::make_shared<CompileCache>();
+    PassCounter counter;
+    CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(11).cache(cache));
+    driver.addObserver(&counter);
+
+    const auto request =
+        CompileRequest::fromCircuit(makeQft(6), "cached");
+    auto miss = driver.compile(request);
+    ASSERT_TRUE(miss.ok()) << miss.status().toString();
+    EXPECT_FALSE(miss->cacheHit);
+    EXPECT_NE(miss->cacheKey, 0u);
+    ASSERT_TRUE(miss->cacheStats.has_value());
+    EXPECT_EQ(miss->cacheStats->misses, 1u);
+    const int passes_after_miss = counter.passes;
+    EXPECT_GT(passes_after_miss, 0);
+
+    auto hit = driver.compile(request);
+    ASSERT_TRUE(hit.ok()) << hit.status().toString();
+    EXPECT_TRUE(hit->cacheHit);
+    EXPECT_EQ(hit->cacheKey, miss->cacheKey);
+    EXPECT_EQ(hit->label, "cached");
+    ASSERT_TRUE(hit->cacheStats.has_value());
+    EXPECT_EQ(hit->cacheStats->hits, 1u);
+
+    // No pass ran on the hit path...
+    EXPECT_EQ(counter.passes, passes_after_miss);
+    // ...yet the replayed schedule is bit-identical.
+    expectSameDistributedResult(miss->result(), hit->result());
+}
+
+TEST(CompileCacheApi, CachedEqualsUncachedCompilation)
+{
+    const auto request =
+        CompileRequest::fromCircuit(makeVqe(6), "vqe");
+    const auto options =
+        CompileOptions().numQpus(4).gridSize(7).seed(3);
+
+    auto uncached = CompilerDriver(options).compile(request);
+    ASSERT_TRUE(uncached.ok());
+
+    auto cache = std::make_shared<CompileCache>();
+    auto with_cache = CompileOptions(options).cache(cache);
+    const CompilerDriver driver(with_cache);
+    auto warm = driver.compile(request);
+    auto replay = driver.compile(request);
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(replay.ok());
+    EXPECT_TRUE(replay->cacheHit);
+    expectSameDistributedResult(uncached->result(),
+                                replay->result());
+}
+
+TEST(CompileCacheApi, SeedAndConfigAndPayloadChangesMiss)
+{
+    const Circuit circuit = makeQft(6);
+    const auto request = CompileRequest::fromCircuit(circuit);
+
+    const auto base =
+        CompileOptions().numQpus(2).gridSize(7).seed(1);
+    const auto key = [&](const CompileOptions &options,
+                         const CompileRequest &req,
+                         bool baseline = false) {
+        return computeCacheKey(req, options.build().value(), baseline)
+            .key;
+    };
+
+    const std::uint64_t reference = key(base, request);
+    EXPECT_NE(reference,
+              key(CompileOptions(base).seed(2), request));
+    EXPECT_NE(reference,
+              key(CompileOptions(base).numQpus(4), request));
+    EXPECT_NE(reference,
+              key(CompileOptions(base).kmax(2), request));
+    EXPECT_NE(reference,
+              key(CompileOptions(base).useBdir(false), request));
+    EXPECT_NE(reference,
+              key(base,
+                  CompileRequest::fromCircuit(makeQft(7))));
+    EXPECT_NE(reference, key(base, request, /*baseline=*/true));
+
+    // Labels are metadata: same content, same key.
+    EXPECT_EQ(reference,
+              key(base, CompileRequest::fromCircuit(
+                            circuit, "other-label")));
+
+    // Key and verifier are independent hashes of the same bytes.
+    const CacheKeyPair pair =
+        computeCacheKey(request, base.build().value(), false);
+    EXPECT_NE(pair.key, pair.verifier);
+}
+
+TEST(CompileCacheApi, VerifierMismatchIsTreatedAsMiss)
+{
+    // Simulate a 64-bit key collision: plant a decodable report
+    // with a wrong verifier under the key the driver will compute.
+    auto cache = std::make_shared<CompileCache>();
+    const auto options =
+        CompileOptions().numQpus(2).gridSize(7).seed(4);
+    const auto request = CompileRequest::fromCircuit(makeQft(5));
+    const CacheKeyPair pair =
+        computeCacheKey(request, options.build().value(), false);
+
+    CompilerDriver planted(CompileOptions(options).cache(cache));
+    auto real = planted.compile(request);
+    ASSERT_TRUE(real.ok());
+    CompileReport foreign = *real;
+    foreign.cacheVerifier = pair.verifier ^ 1;
+    cache->insert(pair.key, encodeCompileReportArtifact(foreign));
+
+    auto report = planted.compile(request);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->cacheHit); // collision detected, recompiled
+    EXPECT_EQ(report->cacheVerifier, pair.verifier);
+    // The rejected lookup is reclassified as a miss, not a hit:
+    // one real miss + one collision miss, zero replays.
+    ASSERT_TRUE(report->cacheStats.has_value());
+    EXPECT_EQ(report->cacheStats->hits, 0u);
+    EXPECT_EQ(report->cacheStats->misses, 2u);
+}
+
+TEST(CompileCacheApi, LruEvictionDropsOldestEntry)
+{
+    CacheConfig config;
+    config.capacity = 2;
+    CompileCache cache(config);
+    cache.insert(1, {0x01});
+    cache.insert(2, {0x02});
+    ASSERT_TRUE(cache.lookup(1).has_value()); // 1 now most recent
+    cache.insert(3, {0x03});                  // evicts 2
+    EXPECT_FALSE(cache.lookup(2).has_value());
+    EXPECT_TRUE(cache.lookup(1).has_value());
+    EXPECT_TRUE(cache.lookup(3).has_value());
+    EXPECT_EQ(cache.size(), 2u);
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 3u);
+}
+
+TEST(CompileCacheApi, EvictedEntryForcesRecompile)
+{
+    CacheConfig config;
+    config.capacity = 1;
+    auto cache = std::make_shared<CompileCache>(config);
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(9).cache(cache));
+
+    const auto a = CompileRequest::fromCircuit(makeQft(5));
+    const auto b = CompileRequest::fromCircuit(makeQft(6));
+    ASSERT_TRUE(driver.compile(a).ok()); // miss, cache = {a}
+    ASSERT_TRUE(driver.compile(b).ok()); // miss, evicts a
+    auto again = driver.compile(a);      // miss again
+    ASSERT_TRUE(again.ok());
+    EXPECT_FALSE(again->cacheHit);
+    ASSERT_TRUE(again->cacheStats.has_value());
+    EXPECT_EQ(again->cacheStats->hits, 0u);
+    EXPECT_EQ(again->cacheStats->misses, 3u);
+    EXPECT_GE(again->cacheStats->evictions, 1u);
+}
+
+TEST(CompileCacheApi, DiskTierSurvivesNewCacheInstance)
+{
+    const std::string dir = ::testing::TempDir() + "dcmbqc_cache_ut";
+    std::filesystem::remove_all(dir); // stale entries from prior runs
+    CacheConfig config;
+    config.diskDir = dir;
+
+    std::uint64_t cached_key = 0;
+    {
+        auto cache = std::make_shared<CompileCache>(config);
+        const CompilerDriver driver(CompileOptions()
+                                        .numQpus(2)
+                                        .gridSize(7)
+                                        .seed(21)
+                                        .cache(cache));
+        auto report = driver.compile(
+            CompileRequest::fromCircuit(makeQft(6)));
+        ASSERT_TRUE(report.ok());
+        cached_key = report->cacheKey;
+        EXPECT_EQ(cache->stats().diskWrites, 1u);
+    }
+
+    // Fresh instance, same directory: memory is cold, disk hits.
+    auto cache = std::make_shared<CompileCache>(config);
+    PassCounter counter;
+    CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(21).cache(cache));
+    driver.addObserver(&counter);
+    auto report =
+        driver.compile(CompileRequest::fromCircuit(makeQft(6)));
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->cacheHit);
+    EXPECT_EQ(report->cacheKey, cached_key);
+    EXPECT_EQ(counter.passes, 0);
+    EXPECT_EQ(cache->stats().diskHits, 1u);
+
+    // The disk entry is a regular artifact file.
+    auto bytes = cache->lookup(cached_key);
+    ASSERT_TRUE(bytes.has_value());
+    auto decoded = decodeCompileReportArtifact(*bytes);
+    EXPECT_TRUE(decoded.ok()) << decoded.status().toString();
+
+    std::remove(cache->diskPath(cached_key).c_str());
+}
+
+TEST(CompileCacheApi, CorruptDiskEntryFallsBackToRecompile)
+{
+    const std::string dir =
+        ::testing::TempDir() + "dcmbqc_cache_corrupt";
+    std::filesystem::remove_all(dir); // stale entries from prior runs
+    CacheConfig config;
+    config.diskDir = dir;
+    auto cache = std::make_shared<CompileCache>(config);
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(2).cache(cache));
+    const auto request = CompileRequest::fromCircuit(makeQft(5));
+    auto first = driver.compile(request);
+    ASSERT_TRUE(first.ok());
+
+    // Corrupt the stored artifact, then drop the memory tier so the
+    // next lookup reads the damaged file.
+    const std::string path = cache->diskPath(first->cacheKey);
+    std::FILE *file = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, 20, SEEK_SET);
+    std::fputc(0xee, file);
+    std::fclose(file);
+    cache->clear();
+
+    auto second = driver.compile(request);
+    ASSERT_TRUE(second.ok());
+    EXPECT_FALSE(second->cacheHit);
+    expectSameDistributedResult(first->result(), second->result());
+
+    std::remove(path.c_str());
+}
+
+TEST(CompileCacheApi, ConcurrentBatchWithDuplicatesIsDeterministic)
+{
+    std::vector<CompileRequest> requests;
+    for (int copy = 0; copy < 4; ++copy)
+        for (int qubits : {5, 6, 7})
+            requests.push_back(
+                CompileRequest::fromCircuit(makeQft(qubits)));
+
+    const auto options =
+        CompileOptions().numQpus(2).gridSize(7).seed(7);
+    const auto reference =
+        CompilerDriver(options).compileBatch(requests, 1);
+
+    auto cache = std::make_shared<CompileCache>();
+    const CompilerDriver cached(CompileOptions(options).cache(cache));
+    const auto batched = cached.compileBatch(requests, 4);
+
+    ASSERT_EQ(batched.size(), requests.size());
+    int hits = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        ASSERT_TRUE(batched[i].ok()) << batched[i].status().toString();
+        ASSERT_TRUE(reference[i].ok());
+        expectSameDistributedResult(reference[i]->result(),
+                                    batched[i]->result());
+        hits += batched[i]->cacheHit ? 1 : 0;
+    }
+    // 12 requests over 3 unique programs: exactly the 9 duplicates
+    // replay from cache, each skipping the pipeline.
+    EXPECT_EQ(hits, 9);
+    EXPECT_EQ(cache->stats().misses, 3u);
+}
+
+TEST(CompileCacheApi, BatchFailuresStayIsolatedWithCacheOn)
+{
+    auto cache = std::make_shared<CompileCache>();
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).cache(cache));
+    std::vector<CompileRequest> requests;
+    requests.push_back(CompileRequest::fromCircuit(makeQft(5)));
+    requests.push_back(
+        CompileRequest::fromCircuit(Circuit(2, "empty")));
+    requests.push_back(CompileRequest::fromCircuit(makeQft(5)));
+
+    const auto reports = driver.compileBatch(requests, 2);
+    ASSERT_EQ(reports.size(), 3u);
+    EXPECT_TRUE(reports[0].ok());
+    ASSERT_FALSE(reports[1].ok());
+    EXPECT_EQ(reports[1].status().code(),
+              StatusCode::InvalidArgument);
+    ASSERT_TRUE(reports[2].ok());
+    EXPECT_TRUE(reports[2]->cacheHit);
+}
+
+} // namespace
+} // namespace dcmbqc

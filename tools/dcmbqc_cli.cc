@@ -1,0 +1,521 @@
+/**
+ * @file
+ * `dcmbqc`: the out-of-process front end of the DC-MBQC compiler.
+ *
+ *   dcmbqc compile   compile a generated or serialized circuit and
+ *                    write the compile-report artifact to a file
+ *   dcmbqc inspect   pretty-print any artifact file as JSON
+ *   dcmbqc stats     one-screen summary of an artifact file
+ *
+ * Every failure travels through the Status channel and exits with a
+ * non-zero code; nothing in this tool aborts.
+ */
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/api.hh"
+#include "cache/compile_cache.hh"
+#include "circuit/generators.hh"
+#include "common/table.hh"
+#include "photonic/grid.hh"
+#include "photonic/resource_state.hh"
+#include "serialize/codecs.hh"
+#include "serialize/json.hh"
+
+using namespace dcmbqc;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  dcmbqc compile (--family qft|qaoa|vqe|rca --qubits N | "
+        "--in CIRCUIT.dcmbqc)\n"
+        "                 [-o REPORT.dcmbqc] [--qpus N] [--grid L] "
+        "[--kmax K]\n"
+        "                 [--seed S] [--pl-ratio R] [--resource-state "
+        "ring4|star5|ring6|star7]\n"
+        "                 [--no-bdir] [--baseline] [--label NAME]\n"
+        "                 [--cache-dir DIR] [--save-circuit "
+        "FILE.dcmbqc] [--quiet]\n"
+        "  dcmbqc inspect FILE.dcmbqc\n"
+        "  dcmbqc stats   FILE.dcmbqc\n");
+    return 2;
+}
+
+int
+fail(const Status &status)
+{
+    std::fprintf(stderr, "dcmbqc: %s\n", status.toString().c_str());
+    return 1;
+}
+
+bool
+parseInt(const char *text, int &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    // Out-of-range values are an error, not a silent wrap: a
+    // truncated --seed would quietly run a different experiment.
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        value < INT_MIN || value > INT_MAX)
+        return false;
+    out = static_cast<int>(value);
+    return true;
+}
+
+/** Full-range u64 parser for --seed (CompileOptions takes u64). */
+bool
+parseU64(const char *text, std::uint64_t &out)
+{
+    if (text[0] == '-' || text[0] == '\0')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return false;
+    out = static_cast<std::uint64_t>(value);
+    return true;
+}
+
+bool
+parseResourceState(const std::string &name, ResourceStateType &out)
+{
+    if (name == "ring4") out = ResourceStateType::Ring4;
+    else if (name == "star5") out = ResourceStateType::Star5;
+    else if (name == "ring6") out = ResourceStateType::Ring6;
+    else if (name == "star7") out = ResourceStateType::Star7;
+    else return false;
+    return true;
+}
+
+Expected<Circuit>
+makeFamilyCircuit(const std::string &family, int qubits,
+                  std::uint64_t seed)
+{
+    if (qubits < 1)
+        return Status::invalidArgument(
+            "--qubits must be >= 1 (got " + std::to_string(qubits) +
+            ")");
+    if (family == "qft")
+        return makeQft(qubits);
+    if (family == "qaoa")
+        return makeQaoaMaxcut(qubits, seed == 0 ? 7 : seed);
+    if (family == "vqe")
+        return makeVqe(qubits);
+    if (family == "rca") {
+        if (qubits < 6)
+            return Status::invalidArgument(
+                "rca needs --qubits >= 6");
+        return makeRippleCarryAdder(qubits);
+    }
+    return Status::invalidArgument(
+        "unknown --family '" + family +
+        "' (expected qft|qaoa|vqe|rca)");
+}
+
+// --- compile ---------------------------------------------------------------
+
+int
+runCompile(const std::vector<std::string> &args)
+{
+    std::string family, circuit_in, out_path, label, cache_dir;
+    std::string save_circuit;
+    int qubits = 0, qpus = 4, grid = 0, kmax = 4, pl_ratio = 0;
+    std::uint64_t seed = 1;
+    ResourceStateType state = ResourceStateType::Star5;
+    bool use_bdir = true, baseline = false, quiet = false;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "dcmbqc: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return args[++i].c_str();
+        };
+        if (arg == "--family") {
+            const char *v = next("--family");
+            if (!v) return 2;
+            family = v;
+        } else if (arg == "--in") {
+            const char *v = next("--in");
+            if (!v) return 2;
+            circuit_in = v;
+        } else if (arg == "-o" || arg == "--out") {
+            const char *v = next("-o");
+            if (!v) return 2;
+            out_path = v;
+        } else if (arg == "--label") {
+            const char *v = next("--label");
+            if (!v) return 2;
+            label = v;
+        } else if (arg == "--cache-dir") {
+            const char *v = next("--cache-dir");
+            if (!v) return 2;
+            cache_dir = v;
+        } else if (arg == "--save-circuit") {
+            const char *v = next("--save-circuit");
+            if (!v) return 2;
+            save_circuit = v;
+        } else if (arg == "--resource-state") {
+            const char *v = next("--resource-state");
+            if (!v) return 2;
+            if (!parseResourceState(v, state)) {
+                std::fprintf(stderr,
+                             "dcmbqc: unknown resource state '%s'\n",
+                             v);
+                return 2;
+            }
+        } else if (arg == "--seed") {
+            const char *v = next("--seed");
+            if (!v) return 2;
+            if (!parseU64(v, seed)) {
+                std::fprintf(stderr,
+                             "dcmbqc: --seed expects an unsigned "
+                             "64-bit integer, got '%s'\n",
+                             v);
+                return 2;
+            }
+        } else if (arg == "--no-bdir") {
+            use_bdir = false;
+        } else if (arg == "--baseline") {
+            baseline = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            int *slot = nullptr;
+            if (arg == "--qubits") slot = &qubits;
+            else if (arg == "--qpus") slot = &qpus;
+            else if (arg == "--grid") slot = &grid;
+            else if (arg == "--kmax") slot = &kmax;
+            else if (arg == "--pl-ratio") slot = &pl_ratio;
+            if (!slot) {
+                std::fprintf(stderr,
+                             "dcmbqc: unknown option '%s'\n",
+                             arg.c_str());
+                return usage();
+            }
+            const char *v = next(arg.c_str());
+            if (!v) return 2;
+            if (!parseInt(v, *slot)) {
+                std::fprintf(stderr,
+                             "dcmbqc: %s expects an integer, got "
+                             "'%s'\n",
+                             arg.c_str(), v);
+                return 2;
+            }
+        }
+    }
+
+    if (family.empty() == circuit_in.empty()) {
+        std::fprintf(stderr, "dcmbqc: compile needs exactly one of "
+                             "--family or --in\n");
+        return usage();
+    }
+
+    // Obtain the circuit: generator family or serialized artifact.
+    std::optional<Circuit> circuit;
+    if (!family.empty()) {
+        auto made = makeFamilyCircuit(
+            family, qubits, seed);
+        if (!made.ok())
+            return fail(made.status());
+        circuit = std::move(made.value());
+    } else {
+        auto bytes = loadArtifactFile(circuit_in);
+        if (!bytes.ok())
+            return fail(bytes.status());
+        auto decoded = decodeCircuitArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        circuit = std::move(decoded.value());
+    }
+
+    if (!save_circuit.empty()) {
+        const Status saved = saveArtifactFile(
+            save_circuit, encodeCircuitArtifact(*circuit));
+        if (!saved.ok())
+            return fail(saved);
+        if (!quiet)
+            std::printf("wrote circuit artifact %s\n",
+                        save_circuit.c_str());
+    }
+
+    CompileOptions options;
+    options.numQpus(baseline ? 1 : qpus)
+        .kmax(kmax)
+        .gridSize(grid > 0 ? grid
+                           : gridSizeForQubits(circuit->numQubits()))
+        .resourceState(state)
+        .useBdir(use_bdir)
+        .seed(seed);
+    if (pl_ratio > 0)
+        options.plRatio(pl_ratio);
+    std::shared_ptr<CompileCache> cache;
+    if (!cache_dir.empty()) {
+        CacheConfig cache_config;
+        cache_config.diskDir = cache_dir;
+        cache = std::make_shared<CompileCache>(cache_config);
+        options.cache(cache);
+    }
+
+    const CompilerDriver driver(options);
+    const auto request = CompileRequest::fromCircuit(
+        *circuit, label.empty() ? circuit->name() : label);
+    auto report = baseline ? driver.compileBaseline(request)
+                           : driver.compile(request);
+    if (!report.ok())
+        return fail(report.status());
+
+    if (!quiet) {
+        std::printf("compiled %s: %s\n", report->label.c_str(),
+                    report->cacheHit ? "cache hit (no pass ran)"
+                                     : "full pipeline");
+        std::printf("%s", report->describeStages().c_str());
+        const int exec = baseline
+            ? report->baselineResult().executionTime()
+            : report->result().executionTime();
+        const int tau = baseline
+            ? report->baselineResult().requiredLifetime()
+            : report->result().requiredLifetime();
+        std::printf("  execution time    %8d cycles\n", exec);
+        std::printf("  required lifetime %8d cycles\n", tau);
+        if (report->cacheStats) {
+            const CacheStats &s = *report->cacheStats;
+            std::printf("  cache             %llu hits / %llu misses "
+                        "/ %llu evictions\n",
+                        (unsigned long long)s.hits,
+                        (unsigned long long)s.misses,
+                        (unsigned long long)s.evictions);
+        }
+        for (const std::string &warning : report->warnings)
+            std::printf("  warning: %s\n", warning.c_str());
+    }
+
+    if (!out_path.empty()) {
+        const Status saved = saveArtifactFile(
+            out_path, encodeCompileReportArtifact(*report));
+        if (!saved.ok())
+            return fail(saved);
+        if (!quiet)
+            std::printf("wrote report artifact %s\n",
+                        out_path.c_str());
+    }
+    return 0;
+}
+
+// --- inspect / stats -------------------------------------------------------
+
+/** Decode an artifact file and JSON-print its payload. */
+int
+runInspect(const std::string &path)
+{
+    auto bytes = loadArtifactFile(path);
+    if (!bytes.ok())
+        return fail(bytes.status());
+    auto view = openArtifact(*bytes);
+    if (!view.ok())
+        return fail(view.status());
+
+    std::string json;
+    switch (view->kind) {
+      case ArtifactKind::Circuit: {
+        auto decoded = decodeCircuitArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        json = toJson(*decoded);
+        break;
+      }
+      case ArtifactKind::Graph: {
+        auto decoded = decodeGraphArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        json = toJson(*decoded);
+        break;
+      }
+      case ArtifactKind::Digraph: {
+        auto decoded = decodeDigraphArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        json = toJson(*decoded);
+        break;
+      }
+      case ArtifactKind::Pattern: {
+        auto decoded = decodePatternArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        json = toJson(*decoded);
+        break;
+      }
+      case ArtifactKind::Config: {
+        auto decoded = decodeConfigArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        json = toJson(*decoded);
+        break;
+      }
+      case ArtifactKind::LocalSchedule: {
+        auto decoded = decodeLocalScheduleArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        json = toJson(*decoded);
+        break;
+      }
+      case ArtifactKind::Schedule: {
+        auto decoded = decodeScheduleArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        json = toJson(*decoded);
+        break;
+      }
+      case ArtifactKind::CompileReport: {
+        auto decoded = decodeCompileReportArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        json = toJson(*decoded);
+        break;
+      }
+      default:
+        return fail(Status::invalidArgument(
+            std::string("inspect does not support '") +
+            artifactKindName(view->kind) + "' artifacts"));
+    }
+    std::printf("%s\n", json.c_str());
+    return 0;
+}
+
+int
+runStats(const std::string &path)
+{
+    auto bytes = loadArtifactFile(path);
+    if (!bytes.ok())
+        return fail(bytes.status());
+    auto view = openArtifact(*bytes);
+    if (!view.ok())
+        return fail(view.status());
+
+    TextTable table({"field", "value"});
+    table.row().cell("file").cell(path);
+    table.row().cell("kind").cell(artifactKindName(view->kind));
+    table.row().cell("format version").cell(view->version);
+    table.row()
+        .cell("payload bytes")
+        .cell(static_cast<long long>(view->payloadSize));
+
+    switch (view->kind) {
+      case ArtifactKind::Circuit: {
+        auto decoded = decodeCircuitArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        table.row().cell("name").cell(decoded->name());
+        table.row().cell("qubits").cell(decoded->numQubits());
+        table.row()
+            .cell("gates")
+            .cell(static_cast<long long>(decoded->numGates()));
+        table.row()
+            .cell("2q gates")
+            .cell(static_cast<long long>(
+                decoded->numTwoQubitGates()));
+        table.row().cell("depth").cell(decoded->depth());
+        break;
+      }
+      case ArtifactKind::Graph: {
+        auto decoded = decodeGraphArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        table.row().cell("nodes").cell(decoded->numNodes());
+        table.row().cell("edges").cell(decoded->numEdges());
+        break;
+      }
+      case ArtifactKind::Digraph: {
+        auto decoded = decodeDigraphArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        table.row().cell("nodes").cell(decoded->numNodes());
+        table.row()
+            .cell("arcs")
+            .cell(static_cast<long long>(decoded->numArcs()));
+        break;
+      }
+      case ArtifactKind::Pattern: {
+        auto decoded = decodePatternArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        table.row().cell("photons").cell(decoded->numNodes());
+        table.row()
+            .cell("edges")
+            .cell(decoded->graph().numEdges());
+        table.row().cell("wires").cell(decoded->numWires());
+        break;
+      }
+      case ArtifactKind::CompileReport: {
+        auto decoded = decodeCompileReportArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        table.row().cell("label").cell(decoded->label);
+        table.row()
+            .cell("pipeline")
+            .cell(decoded->distributed ? "distributed" : "baseline");
+        const int exec = decoded->distributed
+            ? decoded->result().executionTime()
+            : decoded->baselineResult().executionTime();
+        const int tau = decoded->distributed
+            ? decoded->result().requiredLifetime()
+            : decoded->baselineResult().requiredLifetime();
+        table.row().cell("execution time").cell(exec);
+        table.row().cell("required lifetime").cell(tau);
+        table.row()
+            .cell("stages")
+            .cell(static_cast<long long>(decoded->stages.size()));
+        table.row().cell("total ms").cell(decoded->totalMillis, 2);
+        if (decoded->distributed) {
+            table.row()
+                .cell("connectors")
+                .cell(decoded->result().numConnectors);
+            table.row()
+                .cell("QPUs")
+                .cell(static_cast<int>(
+                    decoded->result().localSchedules.size()));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    std::printf("%s", table.render("artifact stats").c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (command == "compile")
+        return runCompile(args);
+    if (command == "inspect" && args.size() == 1)
+        return runInspect(args[0]);
+    if (command == "stats" && args.size() == 1)
+        return runStats(args[0]);
+    return usage();
+}
