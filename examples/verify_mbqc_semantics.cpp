@@ -7,11 +7,16 @@
  * simulator, and compares against the circuit unitary. It also
  * verifies graph-state stabilizers of the compiled pattern on the
  * Aaronson-Gottesman tableau simulator -- scalable to thousands of
- * photons -- and cross-checks each program end-to-end through the
- * pass-based CompilerDriver, asserting via the Status channel
- * instead of aborting.
+ * photons -- and closes the compile -> execute loop through
+ * CompilerDriver::compileAndExecute: every program is sampled on the
+ * statevector backend and loss-sampled on the Monte-Carlo backend
+ * over its compiled schedule, and a Clifford program is additionally
+ * cross-checked between the statevector and stabilizer backends on
+ * exact output probabilities. Everything asserts via the Status
+ * channel instead of aborting.
  */
 
+#include <cmath>
 #include <cstdio>
 
 #include "api/api.hh"
@@ -31,20 +36,32 @@ namespace
 int failures = 0;
 
 /**
- * Compile the pattern through the driver and check, via Status
- * rather than an abort, that the pipeline accepts it and schedules
- * every photon exactly once across the QPUs.
+ * Compile the pattern through the driver and execute the result:
+ * statevector sampling of the output distribution plus Monte-Carlo
+ * loss sampling of the compiled schedule — the full
+ * compile -> execute loop, checked via Status rather than an abort.
  */
 void
-checkCompiles(const Circuit &circuit, const Pattern &pattern)
+checkCompilesAndExecutes(const Circuit &circuit,
+                         const Pattern &pattern)
 {
     const CompilerDriver driver(CompileOptions()
                                     .numQpus(2)
                                     .gridSize(gridSizeForQubits(
                                         circuit.numQubits()))
                                     .seed(5));
-    auto report = driver.compile(
-        CompileRequest::fromPattern(pattern, circuit.name()));
+
+    ExecOptions sample;
+    sample.backend = "statevector";
+    sample.shots = 64;
+    sample.seed = 23;
+    ExecOptions loss = sample;
+    loss.backend = "mc-loss";
+    loss.lossModel.cyclePeriodNs = 20.0;
+
+    auto report = driver.compileAndExecute(
+        CompileRequest::fromPattern(pattern, circuit.name()),
+        {sample, loss});
     if (!report.ok()) {
         std::printf("  %-8s driver REJECTED pattern: %s\n",
                     circuit.name().c_str(),
@@ -52,6 +69,7 @@ checkCompiles(const Circuit &circuit, const Pattern &pattern)
         ++failures;
         return;
     }
+
     long long scheduled = 0;
     for (const auto &local : report->result().localSchedules)
         for (const auto &layer : local.layers)
@@ -62,6 +80,25 @@ checkCompiles(const Circuit &circuit, const Pattern &pattern)
                     pattern.numNodes());
         ++failures;
     }
+
+    const ExecResult &sampled = report->executions[0];
+    const ExecResult &lossy = report->executions[1];
+    double prob_total = 0.0;
+    for (const auto &[bits, p] : sampled.probabilities)
+        prob_total += p;
+    if (sampled.completedShots != sample.shots ||
+        prob_total < 1.0 - 1e-9 || prob_total > 1.0 + 1e-9) {
+        std::printf("  %-8s statevector execution inconsistent "
+                    "(%d shots, probability mass %.6f)\n",
+                    circuit.name().c_str(), sampled.completedShots,
+                    prob_total);
+        ++failures;
+    }
+    std::printf("  %-8s executed: %d shots, %zu distinct outcomes, "
+                "survival %.4f (analytic %.4f)\n",
+                circuit.name().c_str(), sampled.completedShots,
+                sampled.counts.size(), lossy.survivalRate(),
+                lossy.analyticSuccessProbability);
 }
 
 void
@@ -92,7 +129,45 @@ checkCircuit(const Circuit &circuit)
                     circuit.name().c_str());
         ++failures;
     }
-    checkCompiles(circuit, pattern);
+    checkCompilesAndExecutes(circuit, pattern);
+}
+
+/**
+ * Cross-check the statevector and stabilizer backends on a Clifford
+ * program: the stabilizer's exact per-outcome probabilities (2^-r)
+ * must match the statevector's squared amplitudes.
+ */
+void
+checkBackendAgreement()
+{
+    const Circuit circuit = makeRandomCliffordCircuit(5, 24, 77);
+    const ExecProgram program = ExecProgram::fromCircuit(circuit);
+
+    ExecOptions options;
+    options.shots = 48;
+    options.seed = 13;
+    options.backend = "statevector";
+    auto sv = executeProgram(program, options);
+    options.backend = "stabilizer";
+    auto stab = executeProgram(program, options);
+    if (!sv.ok() || !stab.ok()) {
+        std::printf("\nbackend cross-check FAILED to execute: %s\n",
+                    (!sv.ok() ? sv : stab).status().toString().c_str());
+        ++failures;
+        return;
+    }
+    int mismatches = 0;
+    for (const auto &[bits, p] : stab->probabilities) {
+        const auto match = sv->probabilities.find(bits);
+        if (match == sv->probabilities.end() ||
+            std::abs(match->second - p) > 1e-9)
+            ++mismatches;
+    }
+    std::printf("\nstatevector vs stabilizer backends "
+                "(clifford-5, %zu outcomes): %d mismatch(es)\n",
+                stab->probabilities.size(), mismatches);
+    if (mismatches > 0 || stab->probabilities.empty())
+        ++failures;
 }
 
 void
@@ -127,6 +202,7 @@ main()
     checkCircuit(makeQaoaMaxcut(5, 11));
     checkCircuit(makeVqe(4));
     checkCircuit(makeRippleCarryAdder(6));
+    checkBackendAgreement();
     checkStabilizersAtScale();
     if (failures > 0) {
         std::printf("\n%d check(s) FAILED\n", failures);

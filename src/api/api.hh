@@ -22,5 +22,6 @@
 #include "api/passes.hh"
 #include "api/request.hh"
 #include "api/status.hh"
+#include "exec/exec.hh"
 
 #endif // DCMBQC_API_API_HH

@@ -12,10 +12,25 @@
 #include "api/thread_pool.hh"
 #include "cache/cache_key.hh"
 #include "cache/compile_cache.hh"
+#include "exec/backend.hh"
 #include "serialize/codecs.hh"
 
 namespace dcmbqc
 {
+
+void
+CompileReport::addExecution(ExecResult result)
+{
+    StageReport stage;
+    stage.pass = "Execute[" + result.backend + "]";
+    stage.millis = result.wallMillis;
+    stage.note = std::to_string(result.completedShots) + "/" +
+        std::to_string(result.shots) + " shots, " +
+        std::to_string(result.threads) + " thread(s)";
+    stages.push_back(std::move(stage));
+    totalMillis += result.wallMillis;
+    executions.push_back(std::move(result));
+}
 
 const DcMbqcResult &
 CompileReport::result() const
@@ -244,6 +259,52 @@ CompilerDriver::compileImpl(const CompileRequest &request,
         report.cacheStats = cache->stats();
     }
     return report;
+}
+
+Expected<ExecResult>
+CompilerDriver::execute(const ExecProgram &program,
+                        const ExecOptions &exec_options) const
+{
+    return executeProgram(program, exec_options);
+}
+
+Expected<CompileReport>
+CompilerDriver::compileAndExecute(
+    const CompileRequest &request,
+    const std::vector<ExecOptions> &backends) const
+{
+    if (backends.empty())
+        return Status::invalidArgument(
+            "compileAndExecute: no execution backends requested");
+    // Vet every execution config before spending a pipeline run on
+    // the compile: a typoed backend name must fail in microseconds.
+    for (const ExecOptions &exec_options : backends) {
+        const Status status = exec_options.validate();
+        if (!status.ok())
+            return status;
+    }
+    auto compiled = compile(request);
+    if (!compiled.ok())
+        return compiled.status();
+
+    CompileReport report = std::move(compiled.value());
+    ExecProgram program = ExecProgram::fromRequest(request);
+    program.withSchedule(report.result());
+    for (const ExecOptions &exec_options : backends) {
+        auto result = execute(program, exec_options);
+        if (!result.ok())
+            return result.status();
+        report.addExecution(std::move(result.value()));
+    }
+    return report;
+}
+
+Expected<CompileReport>
+CompilerDriver::compileAndExecute(const CompileRequest &request,
+                                  const ExecOptions &exec_options) const
+{
+    return compileAndExecute(
+        request, std::vector<ExecOptions>{exec_options});
 }
 
 std::vector<Expected<CompileReport>>

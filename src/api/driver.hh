@@ -29,6 +29,9 @@
 #include "cache/cache_key.hh"
 #include "cache/compile_cache.hh"
 #include "core/pipeline.hh"
+#include "exec/options.hh"
+#include "exec/program.hh"
+#include "exec/result.hh"
 
 namespace dcmbqc
 {
@@ -85,6 +88,23 @@ struct CompileReport
      */
     std::optional<CacheStats> cacheStats;
 
+    /**
+     * One entry per backend run by `compileAndExecute`, in request
+     * order: outcome histograms, shot statistics, and per-backend
+     * wall-clock. Empty for compile-only calls — and always empty in
+     * cache-stored artifacts, since execution happens after the
+     * cache insert and replays re-execute with the caller's seed.
+     */
+    std::vector<ExecResult> executions;
+
+    /**
+     * Record one backend execution: appends a timed "Execute[...]"
+     * stage, accumulates totalMillis, and stores the result in
+     * `executions`. Shared by compileAndExecute and `dcmbqc run` so
+     * both produce identically-shaped reports.
+     */
+    void addExecution(ExecResult result);
+
     /** Distributed result accessor (panics when absent). */
     const DcMbqcResult &result() const;
 
@@ -128,6 +148,32 @@ class CompilerDriver
     /** Run the monolithic OneQ-style baseline pipeline. */
     Expected<CompileReport>
     compileBaseline(const CompileRequest &request) const;
+
+    /**
+     * Execute a program on the backend selected by `exec_options`
+     * (exec/backend.hh). Thin, validated dispatch into the
+     * ExecutionBackend registry; exists on the driver so compile and
+     * execute share one front door.
+     */
+    Expected<ExecResult> execute(const ExecProgram &program,
+                                 const ExecOptions &exec_options) const;
+
+    /**
+     * Compile, then execute on every backend of `backends` in
+     * order. The compiled schedule is attached to the program, so
+     * schedule-level backends (mc-loss) run against exactly what
+     * compile() produced. Each execution is appended to
+     * `CompileReport::executions` plus a timed "Execute[...]" stage;
+     * the first failing backend fails the whole call.
+     */
+    Expected<CompileReport>
+    compileAndExecute(const CompileRequest &request,
+                      const std::vector<ExecOptions> &backends) const;
+
+    /** Convenience: compile and execute on one backend. */
+    Expected<CompileReport>
+    compileAndExecute(const CompileRequest &request,
+                      const ExecOptions &exec_options) const;
 
     /**
      * Compile a batch of requests across `num_threads` workers

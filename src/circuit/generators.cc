@@ -129,6 +129,83 @@ makeRippleCarryAdder(int num_qubits)
     return c;
 }
 
+namespace
+{
+
+/**
+ * Shared body of the random Clifford / Clifford+T generators:
+ * `num_single` single-qubit choices, then the two entangling gates.
+ */
+Circuit
+makeRandomFromSet(int num_qubits, int num_gates, std::uint64_t seed,
+                  int num_single,
+                  void (*apply_single)(Circuit &, int, QubitId),
+                  const std::string &name)
+{
+    Circuit c(num_qubits, name + "-" + std::to_string(num_qubits));
+    Rng rng(seed);
+    const int choices = num_single + (num_qubits > 1 ? 2 : 0);
+    for (int i = 0; i < num_gates; ++i) {
+        const int choice = static_cast<int>(rng.uniformInt(choices));
+        const QubitId q0 =
+            static_cast<QubitId>(rng.uniformInt(num_qubits));
+        if (choice < num_single) {
+            apply_single(c, choice, q0);
+            continue;
+        }
+        QubitId q1 = q0;
+        while (q1 == q0)
+            q1 = static_cast<QubitId>(rng.uniformInt(num_qubits));
+        if (choice == num_single)
+            c.cz(q0, q1);
+        else
+            c.cnot(q0, q1);
+    }
+    return c;
+}
+
+void
+applyCliffordSingle(Circuit &c, int choice, QubitId q)
+{
+    switch (choice) {
+      case 0: c.h(q); break;
+      case 1: c.s(q); break;
+      case 2: c.sdg(q); break;
+      case 3: c.x(q); break;
+      default: c.z(q); break;
+    }
+}
+
+void
+applyCliffordTSingle(Circuit &c, int choice, QubitId q)
+{
+    switch (choice) {
+      case 5: c.t(q); break;
+      case 6: c.tdg(q); break;
+      default: applyCliffordSingle(c, choice, q); break;
+    }
+}
+
+} // namespace
+
+Circuit
+makeRandomCliffordCircuit(int num_qubits, int num_gates,
+                          std::uint64_t seed)
+{
+    return makeRandomFromSet(num_qubits, num_gates, seed,
+                             /*num_single=*/5, applyCliffordSingle,
+                             "clifford");
+}
+
+Circuit
+makeRandomCliffordTCircuit(int num_qubits, int num_gates,
+                           std::uint64_t seed)
+{
+    return makeRandomFromSet(num_qubits, num_gates, seed,
+                             /*num_single=*/7, applyCliffordTSingle,
+                             "clifford-t");
+}
+
 Circuit
 makeRandomCircuit(int num_qubits, int num_gates, std::uint64_t seed)
 {

@@ -54,6 +54,23 @@ Circuit makeRippleCarryAdder(int num_qubits);
 Circuit makeRandomCircuit(int num_qubits, int num_gates,
                           std::uint64_t seed);
 
+/**
+ * A uniformly random Clifford circuit over {H, S, Sdg, X, Z, CZ,
+ * CNOT} — the gate set both the stabilizer tableau and the dense
+ * simulator support exactly, which makes these circuits the fuel of
+ * the backend differential tests.
+ */
+Circuit makeRandomCliffordCircuit(int num_qubits, int num_gates,
+                                  std::uint64_t seed);
+
+/**
+ * A random Clifford+T circuit: the Clifford set above plus T / Tdg.
+ * Universal (unlike the Clifford set), so it exercises the
+ * pattern-vs-circuit differential tests beyond stabilizer reach.
+ */
+Circuit makeRandomCliffordTCircuit(int num_qubits, int num_gates,
+                                   std::uint64_t seed);
+
 } // namespace dcmbqc
 
 #endif // DCMBQC_CIRCUIT_GENERATORS_HH

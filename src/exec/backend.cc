@@ -1,0 +1,172 @@
+#include "exec/backend.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "api/thread_pool.hh"
+#include "exec/loss_backend.hh"
+#include "exec/stabilizer_backend.hh"
+#include "exec/statevector_backend.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Built-ins registered on first access, in documented order. */
+std::vector<std::unique_ptr<ExecutionBackend>> &
+registry()
+{
+    static std::vector<std::unique_ptr<ExecutionBackend>> backends =
+        [] {
+            std::vector<std::unique_ptr<ExecutionBackend>> list;
+            list.push_back(std::make_unique<StatevectorBackend>());
+            list.push_back(std::make_unique<StabilizerBackend>());
+            list.push_back(std::make_unique<MonteCarloLossBackend>());
+            return list;
+        }();
+    return backends;
+}
+
+} // namespace
+
+const ExecutionBackend *
+findBackend(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    for (const auto &backend : registry())
+        if (name == backend->name())
+            return backend.get();
+    return nullptr;
+}
+
+std::vector<std::string>
+backendNames()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const auto &backend : registry())
+        names.emplace_back(backend->name());
+    return names;
+}
+
+Status
+registerBackend(std::unique_ptr<ExecutionBackend> backend)
+{
+    if (!backend)
+        return Status::invalidArgument(
+            "registerBackend: null backend");
+    std::lock_guard<std::mutex> lock(registryMutex());
+    for (const auto &existing : registry())
+        if (std::string(existing->name()) == backend->name())
+            return Status::failedPrecondition(
+                std::string("backend '") + backend->name() +
+                "' already registered");
+    registry().push_back(std::move(backend));
+    return Status::okStatus();
+}
+
+std::uint64_t
+shotSeed(std::int64_t seed, int shot)
+{
+    // Golden-ratio stride keeps the per-shot streams far apart in
+    // the SplitMix64 expansion the Rng seeds through; statistical
+    // independence is what matters here, not cryptography.
+    return static_cast<std::uint64_t>(seed) ^
+        (0x9e3779b97f4a7c15ull *
+         (static_cast<std::uint64_t>(shot) + 1));
+}
+
+int
+resolveThreads(int num_threads, int shots)
+{
+    int threads = num_threads > 0 ? num_threads
+                                  : ThreadPool::defaultNumThreads();
+    return std::max(1, std::min(threads, shots));
+}
+
+void
+forEachShot(int shots, int threads,
+            const std::function<void(int)> &body)
+{
+    if (threads <= 1) {
+        for (int shot = 0; shot < shots; ++shot)
+            body(shot);
+        return;
+    }
+    // Contiguous chunks: one pool job per worker keeps queue
+    // overhead negligible even for very cheap shots.
+    ThreadPool pool(threads);
+    const int chunk = (shots + threads - 1) / threads;
+    for (int begin = 0; begin < shots; begin += chunk) {
+        const int end = std::min(shots, begin + chunk);
+        pool.submit([&body, begin, end] {
+            for (int shot = begin; shot < end; ++shot)
+                body(shot);
+        });
+    }
+    pool.wait();
+}
+
+Expected<ExecResult>
+executeProgram(const ExecProgram &program, const ExecOptions &options)
+{
+    Status status = options.validate();
+    if (!status.ok())
+        return status;
+    status = program.validate();
+    if (!status.ok())
+        return status;
+
+    const ExecutionBackend *backend = findBackend(options.backend);
+    // validate() already vetted the name; a vanished backend would
+    // be a registry bug.
+    if (!backend)
+        return Status::internal("backend '" + options.backend +
+                                "' disappeared from the registry");
+
+    const BackendCapabilities caps = backend->capabilities();
+    if (caps.runsPattern && !program.hasPattern())
+        return Status::failedPrecondition(
+            "backend '" + options.backend +
+            "' executes measurement patterns, but the program has "
+            "none (graph-entry programs carry no angles)");
+    if (caps.runsSchedule && !program.hasSchedule())
+        return Status::failedPrecondition(
+            "backend '" + options.backend +
+            "' executes compiled schedules; compile first (or use "
+            "compileAndExecute)");
+    if (caps.maxWires > 0 && program.hasPattern() &&
+        program.pattern().numWires() > caps.maxWires)
+        return Status::failedPrecondition(
+            "backend '" + options.backend + "' is bounded to " +
+            std::to_string(caps.maxWires) + " output wires, pattern " +
+            "has " + std::to_string(program.pattern().numWires()));
+
+    const auto start = std::chrono::steady_clock::now();
+    Expected<ExecResult> result = backend->run(program, options);
+    if (!result.ok())
+        return result;
+
+    result->backend = backend->name();
+    result->label = program.label();
+    result->shots = options.shots;
+    result->seed = options.seed;
+    result->wallMillis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Umbrella header of the execution subsystem. Typical use:
+ *
+ *   auto result = executeProgram(
+ *       ExecProgram::fromCircuit(makeQft(6)),
+ *       ExecOptions{});                      // statevector, 256 shots
+ *   if (!result.ok())
+ *       handle(result.status());
+ *   use(result->counts);
+ *
+ * or, end to end through the driver:
+ *
+ *   ExecOptions exec;
+ *   exec.backend = "mc-loss";
+ *   auto report = driver.compileAndExecute(request, exec);
+ */
+
+#ifndef DCMBQC_EXEC_EXEC_HH
+#define DCMBQC_EXEC_EXEC_HH
+
+#include "exec/backend.hh"
+#include "exec/loss_backend.hh"
+#include "exec/options.hh"
+#include "exec/program.hh"
+#include "exec/result.hh"
+#include "exec/stabilizer_backend.hh"
+#include "exec/statevector_backend.hh"
+
+#endif // DCMBQC_EXEC_EXEC_HH

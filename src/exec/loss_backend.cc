@@ -1,0 +1,143 @@
+#include "exec/loss_backend.hh"
+
+#include <numeric>
+
+#include "common/rng.hh"
+#include "sim/loss_analysis.hh"
+
+namespace dcmbqc
+{
+
+Expected<std::vector<TimeSlot>>
+schedulePhotonTimes(const DcMbqcResult &result, NodeId num_nodes)
+{
+    const auto &assignment = result.partition.assignment();
+    if (static_cast<NodeId>(assignment.size()) != num_nodes)
+        return Status::invalidArgument(
+            "schedule partition covers " +
+            std::to_string(assignment.size()) + " photons, program " +
+            "has " + std::to_string(num_nodes));
+    const int parts = result.partition.numParts();
+    if (static_cast<int>(result.localSchedules.size()) != parts)
+        return Status::invalidArgument(
+            "schedule has " +
+            std::to_string(result.localSchedules.size()) +
+            " local schedules for " + std::to_string(parts) +
+            " parts");
+
+    // Main tasks are enumerated QPU-major, layer-minor — the same
+    // order the LSP builder assigns task ids in, which is what
+    // Schedule::mainStart is indexed by.
+    const auto members = result.partition.partMembers();
+    std::size_t total_layers = 0;
+    for (const auto &local : result.localSchedules)
+        total_layers += local.layers.size();
+    if (result.schedule.mainStart.size() != total_layers)
+        return Status::invalidArgument(
+            "schedule holds " +
+            std::to_string(result.schedule.mainStart.size()) +
+            " main-task starts for " + std::to_string(total_layers) +
+            " execution layers");
+
+    std::vector<TimeSlot> times(num_nodes, 0);
+    std::size_t task_base = 0;
+    for (int qpu = 0; qpu < parts; ++qpu) {
+        const auto &local = result.localSchedules[qpu];
+        if (members[qpu].size() != local.nodeLayer.size())
+            return Status::invalidArgument(
+                "QPU " + std::to_string(qpu) + " hosts " +
+                std::to_string(members[qpu].size()) +
+                " photons but its local schedule maps " +
+                std::to_string(local.nodeLayer.size()));
+        for (std::size_t i = 0; i < members[qpu].size(); ++i) {
+            const LayerId layer = local.nodeLayer[i];
+            if (layer < 0 ||
+                layer >= static_cast<LayerId>(local.layers.size()))
+                return Status::invalidArgument(
+                    "QPU " + std::to_string(qpu) + " photon " +
+                    std::to_string(i) + " sits on layer " +
+                    std::to_string(layer) + " of " +
+                    std::to_string(local.layers.size()));
+            times[members[qpu][i]] =
+                result.schedule.mainStart[task_base + layer] *
+                local.grid.plRatio;
+        }
+        task_base += local.layers.size();
+    }
+    return times;
+}
+
+Graph
+intraQpuEdges(const Graph &g, const DcMbqcResult &result)
+{
+    Graph local(g.numNodes());
+    for (const auto &e : g.edges())
+        if (result.partition.part(e.u) == result.partition.part(e.v))
+            local.addEdge(e.u, e.v, e.weight);
+    return local;
+}
+
+BackendCapabilities
+MonteCarloLossBackend::capabilities() const
+{
+    BackendCapabilities caps;
+    caps.runsSchedule = true;
+    return caps;
+}
+
+Expected<ExecResult>
+MonteCarloLossBackend::run(const ExecProgram &program,
+                           const ExecOptions &options) const
+{
+    const DcMbqcResult &compiled = program.schedule();
+    auto times =
+        schedulePhotonTimes(compiled, program.graph().numNodes());
+    if (!times.ok())
+        return times.status();
+
+    // Intra-QPU edges only: connector storage is tau_remote, already
+    // bounded by the scheduler, matching the Algorithm 1 accounting
+    // the loss-analysis tests pin down.
+    const Graph local = intraQpuEdges(program.graph(), compiled);
+    const LossAnalysis analysis =
+        analyzeLoss(local, program.deps(), *times, options.lossModel);
+
+    ExecResult result;
+    result.threads = resolveThreads(options.numThreads, options.shots);
+    result.analyticSuccessProbability = analysis.successProbability;
+    result.maxStorageCycles = analysis.maxStorageCycles;
+    result.meanStorageCycles = analysis.meanStorageCycles;
+
+    // Loss probability per photon, precomputed once outside the
+    // sampling loop.
+    std::vector<double> loss_prob(analysis.storageCycles.size());
+    for (std::size_t u = 0; u < loss_prob.size(); ++u)
+        loss_prob[u] = options.lossModel.lossProbability(
+            analysis.storageCycles[u]);
+
+    std::vector<std::int32_t> lost(options.shots, 0);
+    forEachShot(options.shots, result.threads, [&](int shot) {
+        Rng rng(shotSeed(options.seed, shot));
+        std::int32_t lost_here = 0;
+        for (const double p : loss_prob)
+            if (rng.bernoulli(p))
+                ++lost_here;
+        lost[shot] = lost_here;
+    });
+
+    for (const std::int32_t lost_here : lost) {
+        if (lost_here > 0) {
+            ++result.lostShots;
+            result.lostPhotons += lost_here;
+        }
+    }
+    result.completedShots = options.shots - result.lostShots;
+    result.counts["success"] = result.completedShots;
+    result.counts["loss"] = result.lostShots;
+    result.probabilities["success"] = analysis.successProbability;
+    result.probabilities["loss"] =
+        1.0 - analysis.successProbability;
+    return result;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,106 @@
+#include "exec/program.hh"
+
+#include "api/request.hh"
+#include "common/logging.hh"
+#include "mbqc/dependency.hh"
+#include "mbqc/pattern_builder.hh"
+
+namespace dcmbqc
+{
+
+ExecProgram
+ExecProgram::fromCircuit(const Circuit &circuit, std::string label)
+{
+    ExecProgram program = fromPattern(
+        buildPattern(circuit),
+        label.empty() ? circuit.name() : std::move(label));
+    return program;
+}
+
+ExecProgram
+ExecProgram::fromPattern(Pattern pattern, std::string label)
+{
+    ExecProgram program;
+    program.label_ = std::move(label);
+    program.deps_ = realTimeDependencyGraph(pattern);
+    program.graph_ = pattern.graph();
+    program.pattern_ = std::move(pattern);
+    return program;
+}
+
+ExecProgram
+ExecProgram::fromGraph(Graph graph, Digraph deps, std::string label)
+{
+    ExecProgram program;
+    program.label_ = std::move(label);
+    program.graph_ = std::move(graph);
+    program.deps_ = std::move(deps);
+    return program;
+}
+
+ExecProgram
+ExecProgram::fromRequest(const CompileRequest &request)
+{
+    switch (request.entryPoint()) {
+      case CompileRequest::EntryPoint::Circuit:
+        return fromCircuit(request.circuit(), request.label());
+      case CompileRequest::EntryPoint::Pattern:
+        return fromPattern(request.pattern(), request.label());
+      case CompileRequest::EntryPoint::Graph:
+        return fromGraph(request.graph(), request.deps(),
+                         request.label());
+    }
+    panic("ExecProgram::fromRequest: unknown entry point");
+}
+
+ExecProgram &
+ExecProgram::withSchedule(DcMbqcResult result)
+{
+    compiled_ = std::move(result);
+    return *this;
+}
+
+const Pattern &
+ExecProgram::pattern() const
+{
+    if (!pattern_)
+        panic("ExecProgram::pattern(): program has no pattern");
+    return *pattern_;
+}
+
+const DcMbqcResult &
+ExecProgram::schedule() const
+{
+    if (!compiled_)
+        panic("ExecProgram::schedule(): program has no schedule");
+    return *compiled_;
+}
+
+Status
+ExecProgram::validate() const
+{
+    if (graph_.numNodes() == 0)
+        return Status::invalidArgument(
+            "program has no computation nodes");
+    if (deps_.numNodes() != graph_.numNodes())
+        return Status::invalidArgument(
+            "dependency graph covers " +
+            std::to_string(deps_.numNodes()) + " nodes, graph has " +
+            std::to_string(graph_.numNodes()));
+    if (pattern_ && pattern_->numNodes() != graph_.numNodes())
+        return Status::invalidArgument(
+            "pattern covers " + std::to_string(pattern_->numNodes()) +
+            " nodes, graph has " + std::to_string(graph_.numNodes()));
+    if (compiled_) {
+        const auto &assignment = compiled_->partition.assignment();
+        if (static_cast<NodeId>(assignment.size()) != graph_.numNodes())
+            return Status::invalidArgument(
+                "schedule partition covers " +
+                std::to_string(assignment.size()) +
+                " nodes, graph has " +
+                std::to_string(graph_.numNodes()));
+    }
+    return Status::okStatus();
+}
+
+} // namespace dcmbqc

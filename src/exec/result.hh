@@ -1,0 +1,101 @@
+/**
+ * @file
+ * `ExecResult`: everything one execution of a program on one backend
+ * produced — the outcome histogram, exact per-outcome probabilities
+ * when the backend can derive them, loss-sampling statistics, and
+ * wall-clock / threading metadata. One struct serves all three
+ * backends; fields a backend does not populate keep their documented
+ * "absent" defaults so the binary codec and JSON writer stay
+ * uniform.
+ */
+
+#ifndef DCMBQC_EXEC_RESULT_HH
+#define DCMBQC_EXEC_RESULT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcmbqc
+{
+
+/** Result of running a program on one execution backend. */
+struct ExecResult
+{
+    /** Registry name of the backend that produced this result. */
+    std::string backend;
+
+    /** Label copied from the executed program. */
+    std::string label;
+
+    /** Requested shot count. */
+    int shots = 0;
+
+    /**
+     * Shots that produced an outcome. Equal to `shots` for the
+     * simulator backends; for the Monte-Carlo loss backend, the
+     * shots in which every photon survived its delay-line storage.
+     */
+    int completedShots = 0;
+
+    /** Output wires sampled per shot (0 for the loss backend). */
+    int numWires = 0;
+
+    /** Master seed the result was produced from (echoed back). */
+    std::int64_t seed = 0;
+
+    /** Worker threads used for shot sampling. */
+    int threads = 1;
+
+    /** Wall-clock time of the whole run. */
+    double wallMillis = 0.0;
+
+    /**
+     * Outcome histogram: bitstring -> occurrences. Character w of
+     * the key is the Z outcome of output wire w ('0' or '1'). The
+     * loss backend uses the synthetic keys "success" / "loss".
+     */
+    std::map<std::string, std::int64_t> counts;
+
+    /**
+     * Exact probability of each *observed* outcome, for backends
+     * that can derive it (statevector: |amplitude|^2 of the
+     * corrected output state; stabilizer: 2^-r with r the number of
+     * non-deterministic output measurements). Empty when unknown.
+     */
+    std::map<std::string, double> probabilities;
+
+    // --- Monte-Carlo loss statistics (mc-loss backend only) -----------
+
+    /** Shots in which at least one photon was lost. */
+    int lostShots = 0;
+
+    /** Total photon-loss events across all shots. */
+    std::int64_t lostPhotons = 0;
+
+    /**
+     * Analytic probability that no photon is lost (product of
+     * per-photon survival); negative when not computed.
+     */
+    double analyticSuccessProbability = -1.0;
+
+    /** Max / mean per-photon storage charged by the schedule. */
+    int maxStorageCycles = 0;
+    double meanStorageCycles = 0.0;
+
+    /** Non-fatal notes (e.g. why exact probabilities are absent). */
+    std::vector<std::string> notes;
+
+    /** completedShots / shots (0 when no shot ran). */
+    double
+    survivalRate() const
+    {
+        return shots > 0
+            ? static_cast<double>(completedShots) / shots : 0.0;
+    }
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_EXEC_RESULT_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Stabilizer-tableau execution backend: runs Clifford measurement
+ * patterns (every adapted angle a multiple of pi/2) on the
+ * Aaronson-Gottesman simulator, scaling to thousands of photons
+ * where the dense backend stops at ~20 wires. An XY-plane
+ * measurement at angle k*pi/2 is performed by conjugating with the
+ * phase gate P(-k*pi/2) in {I, Sdg, Z, S} and measuring X. Each
+ * sampled bitstring carries its exact probability 2^-r (r = number
+ * of non-deterministic output measurements), which the differential
+ * tests check against the statevector backend's amplitudes.
+ */
+
+#ifndef DCMBQC_EXEC_STABILIZER_BACKEND_HH
+#define DCMBQC_EXEC_STABILIZER_BACKEND_HH
+
+#include "exec/backend.hh"
+
+namespace dcmbqc
+{
+
+/** Clifford-pattern backend over sim/stabilizer. */
+class StabilizerBackend : public ExecutionBackend
+{
+  public:
+    const char *name() const override { return "stabilizer"; }
+
+    BackendCapabilities capabilities() const override;
+
+    Expected<ExecResult> run(const ExecProgram &program,
+                             const ExecOptions &options) const override;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_EXEC_STABILIZER_BACKEND_HH

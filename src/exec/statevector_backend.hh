@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Dense state-vector execution backend: runs the measurement
+ * pattern shot by shot with adaptive measurements (sim/pattern_runner),
+ * samples the output wires in the Z basis, and — because byproduct
+ * correction makes the corrected output state deterministic — also
+ * reports the exact output distribution. Shots are fanned across the
+ * thread pool; per-shot seeding keeps results bit-identical for any
+ * worker count.
+ */
+
+#ifndef DCMBQC_EXEC_STATEVECTOR_BACKEND_HH
+#define DCMBQC_EXEC_STATEVECTOR_BACKEND_HH
+
+#include "exec/backend.hh"
+
+namespace dcmbqc
+{
+
+/** Exact simulator backend over sim/statevector. */
+class StatevectorBackend : public ExecutionBackend
+{
+  public:
+    const char *name() const override { return "statevector"; }
+
+    BackendCapabilities capabilities() const override;
+
+    Expected<ExecResult> run(const ExecProgram &program,
+                             const ExecOptions &options) const override;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_EXEC_STATEVECTOR_BACKEND_HH

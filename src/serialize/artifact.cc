@@ -18,7 +18,7 @@ bool
 knownKind(std::uint16_t kind)
 {
     return kind >= static_cast<std::uint16_t>(ArtifactKind::Circuit) &&
-        kind <= static_cast<std::uint16_t>(ArtifactKind::CompileReport);
+        kind <= static_cast<std::uint16_t>(ArtifactKind::ExecResult);
 }
 
 } // namespace
@@ -35,6 +35,7 @@ artifactKindName(ArtifactKind kind)
       case ArtifactKind::LocalSchedule: return "local-schedule";
       case ArtifactKind::Schedule: return "schedule";
       case ArtifactKind::CompileReport: return "compile-report";
+      case ArtifactKind::ExecResult: return "exec-result";
     }
     return "?";
 }

@@ -42,6 +42,7 @@ enum class ArtifactKind : std::uint16_t
     LocalSchedule = 6,
     Schedule = 7,
     CompileReport = 8,
+    ExecResult = 9,
 };
 
 /** Stable display name of an artifact kind ("circuit", ...). */

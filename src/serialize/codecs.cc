@@ -648,6 +648,8 @@ encodeCompileReport(BinaryWriter &writer, const CompileReport &report)
         flags |= 4;
     if (report.cacheStats)
         flags |= 8;
+    if (!report.executions.empty())
+        flags |= 16;
     writer.writeU8(flags);
     if (report.distributed)
         encodeDcResult(writer, *report.distributed);
@@ -674,6 +676,12 @@ encodeCompileReport(BinaryWriter &writer, const CompileReport &report)
         writer.writeU64(report.cacheStats->diskHits);
         writer.writeU64(report.cacheStats->diskWrites);
     }
+    if (!report.executions.empty()) {
+        writer.writeU32(
+            static_cast<std::uint32_t>(report.executions.size()));
+        for (const ExecResult &execution : report.executions)
+            encodeExecResult(writer, execution);
+    }
 }
 
 CompileReport
@@ -684,8 +692,10 @@ decodeCompileReport(BinaryReader &reader)
     const std::uint8_t flags = reader.readU8();
     // Every legitimately encoded report carries exactly the flags
     // this version writes, and always one result payload; anything
-    // else is a corrupted or handcrafted artifact.
-    if ((flags & ~0x0f) != 0 || (flags & 3) == 0) {
+    // else is a corrupted or handcrafted artifact. Bit 16
+    // (executions) is absent from pre-execution artifacts, which
+    // keeps them decodable byte for byte.
+    if ((flags & ~0x1f) != 0 || (flags & 3) == 0) {
         reader.fail("compile-report flags byte " +
                     std::to_string(flags) +
                     " is invalid (no result payload)");
@@ -720,7 +730,151 @@ decodeCompileReport(BinaryReader &reader)
         stats.diskWrites = reader.readU64();
         report.cacheStats = stats;
     }
+    if (flags & 16) {
+        const std::uint32_t executions = reader.readCount(1);
+        if (executions == 0 && reader.ok())
+            reader.fail("executions flag set on an empty list");
+        for (std::uint32_t i = 0; i < executions && reader.ok(); ++i)
+            report.executions.push_back(decodeExecResult(reader));
+    }
     return report;
+}
+
+// --- ExecResult ------------------------------------------------------------
+
+namespace
+{
+
+void
+encodeCountMap(BinaryWriter &writer,
+               const std::map<std::string, std::int64_t> &counts)
+{
+    writer.writeU32(static_cast<std::uint32_t>(counts.size()));
+    for (const auto &[key, count] : counts) {
+        writer.writeString(key);
+        writer.writeI64(count);
+    }
+}
+
+std::map<std::string, std::int64_t>
+decodeCountMap(BinaryReader &reader)
+{
+    std::map<std::string, std::int64_t> counts;
+    const std::uint32_t entries = reader.readCount(5);
+    for (std::uint32_t i = 0; i < entries && reader.ok(); ++i) {
+        std::string key = reader.readString();
+        const std::int64_t count = reader.readI64();
+        if (count < 0) {
+            reader.fail("negative outcome count " +
+                        std::to_string(count) + " for '" + key + "'");
+            break;
+        }
+        if (!counts.emplace(std::move(key), count).second) {
+            reader.fail("duplicate outcome key in histogram");
+            break;
+        }
+    }
+    return counts;
+}
+
+void
+encodeProbMap(BinaryWriter &writer,
+              const std::map<std::string, double> &probabilities)
+{
+    writer.writeU32(
+        static_cast<std::uint32_t>(probabilities.size()));
+    for (const auto &[key, probability] : probabilities) {
+        writer.writeString(key);
+        writer.writeF64(probability);
+    }
+}
+
+std::map<std::string, double>
+decodeProbMap(BinaryReader &reader)
+{
+    std::map<std::string, double> probabilities;
+    const std::uint32_t entries = reader.readCount(5);
+    for (std::uint32_t i = 0; i < entries && reader.ok(); ++i) {
+        std::string key = reader.readString();
+        const double probability = reader.readF64();
+        if (!(probability >= 0.0 && probability <= 1.0 + 1e-9)) {
+            reader.fail("probability of '" + key +
+                        "' outside [0, 1]");
+            break;
+        }
+        if (!probabilities.emplace(std::move(key), probability)
+                 .second) {
+            reader.fail("duplicate outcome key in probabilities");
+            break;
+        }
+    }
+    return probabilities;
+}
+
+} // namespace
+
+void
+encodeExecResult(BinaryWriter &writer, const ExecResult &result)
+{
+    writer.writeString(result.backend);
+    writer.writeString(result.label);
+    writer.writeI32(result.shots);
+    writer.writeI32(result.completedShots);
+    writer.writeI32(result.numWires);
+    writer.writeI64(result.seed);
+    writer.writeI32(result.threads);
+    writer.writeF64(result.wallMillis);
+    encodeCountMap(writer, result.counts);
+    encodeProbMap(writer, result.probabilities);
+    writer.writeI32(result.lostShots);
+    writer.writeI64(result.lostPhotons);
+    writer.writeF64(result.analyticSuccessProbability);
+    writer.writeI32(result.maxStorageCycles);
+    writer.writeF64(result.meanStorageCycles);
+    writer.writeU32(static_cast<std::uint32_t>(result.notes.size()));
+    for (const std::string &note : result.notes)
+        writer.writeString(note);
+}
+
+ExecResult
+decodeExecResult(BinaryReader &reader)
+{
+    ExecResult result;
+    result.backend = reader.readString();
+    result.label = reader.readString();
+    result.shots = reader.readI32();
+    result.completedShots = reader.readI32();
+    result.numWires = reader.readI32();
+    result.seed = reader.readI64();
+    result.threads = reader.readI32();
+    result.wallMillis = reader.readF64();
+    result.counts = decodeCountMap(reader);
+    result.probabilities = decodeProbMap(reader);
+    result.lostShots = reader.readI32();
+    result.lostPhotons = reader.readI64();
+    result.analyticSuccessProbability = reader.readF64();
+    result.maxStorageCycles = reader.readI32();
+    result.meanStorageCycles = reader.readF64();
+    const std::uint32_t notes = reader.readCount(4);
+    for (std::uint32_t i = 0; i < notes && reader.ok(); ++i)
+        result.notes.push_back(reader.readString());
+    if (!reader.ok())
+        return result;
+    if (result.shots < 0 || result.completedShots < 0 ||
+        result.completedShots > result.shots) {
+        reader.fail("shot counts inconsistent: " +
+                    std::to_string(result.completedShots) + " of " +
+                    std::to_string(result.shots) + " completed");
+        return result;
+    }
+    std::int64_t counted = 0;
+    for (const auto &[key, count] : result.counts)
+        counted += count;
+    if (counted > result.shots)
+        reader.fail("histogram holds " + std::to_string(counted) +
+                    " outcomes for " + std::to_string(result.shots) +
+                    " shots");
+    return result;
 }
 
 // --- Artifact wrappers -----------------------------------------------------
@@ -845,6 +999,21 @@ decodeCompileReportArtifact(const std::vector<std::uint8_t> &bytes)
 {
     return decodeArtifactAs<CompileReport>(ArtifactKind::CompileReport,
                                            bytes, decodeCompileReport);
+}
+
+std::vector<std::uint8_t>
+encodeExecResultArtifact(const ExecResult &result)
+{
+    return sealPayload(ArtifactKind::ExecResult, [&](BinaryWriter &w) {
+        encodeExecResult(w, result);
+    });
+}
+
+Expected<ExecResult>
+decodeExecResultArtifact(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeArtifactAs<ExecResult>(ArtifactKind::ExecResult,
+                                        bytes, decodeExecResult);
 }
 
 } // namespace dcmbqc

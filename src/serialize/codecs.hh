@@ -26,6 +26,7 @@
 #include "api/driver.hh"
 #include "circuit/circuit.hh"
 #include "compiler/execution_layer.hh"
+#include "exec/result.hh"
 #include "core/lsp.hh"
 #include "core/pipeline.hh"
 #include "graph/digraph.hh"
@@ -71,6 +72,9 @@ void encodeCompileReport(BinaryWriter &writer,
                          const CompileReport &report);
 CompileReport decodeCompileReport(BinaryReader &reader);
 
+void encodeExecResult(BinaryWriter &writer, const ExecResult &result);
+ExecResult decodeExecResult(BinaryReader &reader);
+
 // --- Artifact wrappers -----------------------------------------------------
 
 std::vector<std::uint8_t> encodeCircuitArtifact(const Circuit &circuit);
@@ -109,6 +113,11 @@ std::vector<std::uint8_t>
 encodeCompileReportArtifact(const CompileReport &report);
 Expected<CompileReport>
 decodeCompileReportArtifact(const std::vector<std::uint8_t> &bytes);
+
+std::vector<std::uint8_t>
+encodeExecResultArtifact(const ExecResult &result);
+Expected<ExecResult>
+decodeExecResultArtifact(const std::vector<std::uint8_t> &bytes);
 
 } // namespace dcmbqc
 

@@ -438,6 +438,63 @@ toJson(const Digraph &digraph)
     return json.take();
 }
 
+namespace
+{
+
+/** Members of one ExecResult (shared by report + standalone JSON). */
+void
+writeExecResultBody(JsonWriter &json, const ExecResult &result)
+{
+    json.beginObject();
+    json.key("backend").value(result.backend);
+    json.key("label").value(result.label);
+    json.key("shots").value(result.shots);
+    json.key("completedShots").value(result.completedShots);
+    json.key("numWires").value(result.numWires);
+    json.key("seed").value(static_cast<long long>(result.seed));
+    json.key("threads").value(result.threads);
+    json.key("wallMillis").value(result.wallMillis);
+    json.key("counts").beginObject();
+    for (const auto &[bits, count] : result.counts)
+        json.key(bits).value(static_cast<long long>(count));
+    json.endObject();
+    if (!result.probabilities.empty()) {
+        json.key("probabilities").beginObject();
+        for (const auto &[bits, probability] : result.probabilities)
+            json.key(bits).value(probability);
+        json.endObject();
+    }
+    if (result.analyticSuccessProbability >= 0.0) {
+        json.key("lostShots").value(result.lostShots);
+        json.key("lostPhotons")
+            .value(static_cast<long long>(result.lostPhotons));
+        json.key("survivalRate").value(result.survivalRate());
+        json.key("analyticSuccessProbability")
+            .value(result.analyticSuccessProbability);
+        json.key("maxStorageCycles").value(result.maxStorageCycles);
+        json.key("meanStorageCycles").value(result.meanStorageCycles);
+    }
+    if (!result.notes.empty()) {
+        json.key("notes");
+        writeStringArray(json, result.notes);
+    }
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+toJson(const ExecResult &result)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("artifact").value("exec-result");
+    json.key("result");
+    writeExecResultBody(json, result);
+    json.endObject();
+    return json.take();
+}
+
 std::string
 toJson(const CompileReport &report)
 {
@@ -494,6 +551,12 @@ toJson(const CompileReport &report)
         json.key("schedule");
         writeScheduleBody(json, result.schedule);
         json.endObject();
+    }
+    if (!report.executions.empty()) {
+        json.key("executions").beginArray();
+        for (const ExecResult &execution : report.executions)
+            writeExecResultBody(json, execution);
+        json.endArray();
     }
     if (report.baseline) {
         const BaselineResult &result = *report.baseline;

@@ -15,6 +15,7 @@
 #include "circuit/circuit.hh"
 #include "compiler/execution_layer.hh"
 #include "core/pipeline.hh"
+#include "exec/result.hh"
 #include "mbqc/pattern.hh"
 
 namespace dcmbqc
@@ -68,6 +69,7 @@ std::string toJson(const Schedule &schedule);
 std::string toJson(const CompileReport &report);
 std::string toJson(const Graph &graph);
 std::string toJson(const Digraph &digraph);
+std::string toJson(const ExecResult &result);
 
 } // namespace dcmbqc
 

@@ -331,6 +331,82 @@ TEST(CompileCacheApi, ConcurrentBatchWithDuplicatesIsDeterministic)
     EXPECT_EQ(cache->stats().misses, 3u);
 }
 
+/** Deterministic ExecResult fields (wall-clock excluded). */
+void
+expectSameExecution(const ExecResult &a, const ExecResult &b)
+{
+    EXPECT_EQ(a.backend, b.backend);
+    EXPECT_EQ(a.shots, b.shots);
+    EXPECT_EQ(a.completedShots, b.completedShots);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.probabilities, b.probabilities);
+    EXPECT_EQ(a.lostShots, b.lostShots);
+    EXPECT_DOUBLE_EQ(a.analyticSuccessProbability,
+                     b.analyticSuccessProbability);
+}
+
+TEST(CompileCacheApi, RoundTripPipelineReproducesExecutionBitwise)
+{
+    // compile -> serialize -> decode -> execute must reproduce the
+    // in-process execution exactly, and a warm-cache replay of the
+    // compile step must not change that.
+    auto cache = std::make_shared<CompileCache>();
+    const CompilerDriver driver(CompileOptions()
+                                    .numQpus(2)
+                                    .gridSize(7)
+                                    .seed(13)
+                                    .cache(cache));
+    const auto request = CompileRequest::fromCircuit(
+        makeRandomCliffordCircuit(4, 12, 41), "rt-pipeline");
+
+    std::vector<ExecOptions> backends(3);
+    backends[0].backend = "statevector";
+    backends[1].backend = "stabilizer";
+    backends[2].backend = "mc-loss";
+    for (ExecOptions &exec : backends) {
+        exec.shots = 40;
+        exec.seed = 19;
+        exec.lossModel.cyclePeriodNs = 25.0;
+    }
+
+    auto cold = driver.compileAndExecute(request, backends);
+    ASSERT_TRUE(cold.ok()) << cold.status().toString();
+    EXPECT_FALSE(cold->cacheHit);
+    ASSERT_EQ(cold->executions.size(), 3u);
+
+    // Serialize the full report, decode it, and re-execute against
+    // the *decoded* schedule and the original pattern payload.
+    const auto bytes = encodeCompileReportArtifact(*cold);
+    auto decoded = decodeCompileReportArtifact(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    const ExecProgram reloaded =
+        ExecProgram::fromRequest(request).withSchedule(
+            decoded->result());
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+        auto rerun = driver.execute(reloaded, backends[i]);
+        ASSERT_TRUE(rerun.ok()) << rerun.status().toString();
+        expectSameExecution(cold->executions[i], *rerun);
+    }
+
+    // Warm path: the compile replays from cache, the executions are
+    // fresh — and bit-identical, because everything is seeded.
+    auto warm = driver.compileAndExecute(request, backends);
+    ASSERT_TRUE(warm.ok()) << warm.status().toString();
+    EXPECT_TRUE(warm->cacheHit);
+    ASSERT_EQ(warm->executions.size(), 3u);
+    for (std::size_t i = 0; i < backends.size(); ++i)
+        expectSameExecution(cold->executions[i],
+                            warm->executions[i]);
+    // Cached artifacts never embed executions: they are recorded
+    // after the cache insert.
+    auto cached_bytes = cache->lookup(cold->cacheKey);
+    ASSERT_TRUE(cached_bytes.has_value());
+    auto cached = decodeCompileReportArtifact(*cached_bytes);
+    ASSERT_TRUE(cached.ok());
+    EXPECT_TRUE(cached->executions.empty());
+}
+
 TEST(CompileCacheApi, BatchFailuresStayIsolatedWithCacheOn)
 {
     auto cache = std::make_shared<CompileCache>();

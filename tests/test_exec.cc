@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests of the ExecutionBackend subsystem: registry and
+ * capabilities, deterministic parallel shot sampling (bit-identical
+ * for any worker count), driver execute/compileAndExecute
+ * integration including report stages, the ExecResult artifact
+ * codec, and the rejection paths of ExecOptions / program-capability
+ * mismatches (zero shots, negative seeds, unknown backends,
+ * non-Clifford patterns, missing schedules).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/api.hh"
+#include "circuit/generators.hh"
+#include "serialize/codecs.hh"
+#include "serialize/json.hh"
+
+namespace dcmbqc
+{
+namespace
+{
+
+/** Every deterministic field (wallMillis is wall-clock, excluded). */
+void
+expectSameExecResult(const ExecResult &a, const ExecResult &b)
+{
+    EXPECT_EQ(a.backend, b.backend);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.shots, b.shots);
+    EXPECT_EQ(a.completedShots, b.completedShots);
+    EXPECT_EQ(a.numWires, b.numWires);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.probabilities, b.probabilities);
+    EXPECT_EQ(a.lostShots, b.lostShots);
+    EXPECT_EQ(a.lostPhotons, b.lostPhotons);
+    EXPECT_DOUBLE_EQ(a.analyticSuccessProbability,
+                     b.analyticSuccessProbability);
+    EXPECT_EQ(a.maxStorageCycles, b.maxStorageCycles);
+    EXPECT_EQ(a.notes, b.notes);
+}
+
+TEST(ExecBackendRegistry, ListsTheThreeBuiltInBackends)
+{
+    const auto names = backendNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "statevector");
+    EXPECT_EQ(names[1], "stabilizer");
+    EXPECT_EQ(names[2], "mc-loss");
+
+    for (const std::string &name : names) {
+        const ExecutionBackend *backend = findBackend(name);
+        ASSERT_NE(backend, nullptr) << name;
+        EXPECT_EQ(backend->name(), name);
+    }
+    EXPECT_EQ(findBackend("quantum-annealer"), nullptr);
+}
+
+TEST(ExecBackendRegistry, CapabilitiesDescribeTheContract)
+{
+    const auto sv = findBackend("statevector")->capabilities();
+    EXPECT_TRUE(sv.runsPattern);
+    EXPECT_FALSE(sv.runsSchedule);
+    EXPECT_FALSE(sv.cliffordOnly);
+    EXPECT_TRUE(sv.exactProbabilities);
+    EXPECT_GT(sv.maxWires, 0);
+
+    const auto stab = findBackend("stabilizer")->capabilities();
+    EXPECT_TRUE(stab.runsPattern);
+    EXPECT_TRUE(stab.cliffordOnly);
+    EXPECT_EQ(stab.maxWires, 0);
+
+    const auto loss = findBackend("mc-loss")->capabilities();
+    EXPECT_FALSE(loss.runsPattern);
+    EXPECT_TRUE(loss.runsSchedule);
+}
+
+TEST(ExecOptionsValidation, RejectsEveryBadFieldAtOnce)
+{
+    ExecOptions options;
+    options.shots = 0;
+    options.seed = -4;
+    options.numThreads = -1;
+    options.backend = "quantum-annealer";
+
+    const Status status = options.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::InvalidConfig);
+    // All violations in one message, not just the first.
+    EXPECT_NE(status.message().find("shots"), std::string::npos);
+    EXPECT_NE(status.message().find("seed"), std::string::npos);
+    EXPECT_NE(status.message().find("numThreads"), std::string::npos);
+    EXPECT_NE(status.message().find("quantum-annealer"),
+              std::string::npos);
+}
+
+TEST(ExecOptionsValidation, RejectsBadLossModel)
+{
+    ExecOptions options;
+    options.lossModel.cyclePeriodNs = 0.0;
+    options.lossModel.speedFraction = 1.5;
+    const Status status = options.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("cycle period"),
+              std::string::npos);
+    EXPECT_NE(status.message().find("speed fraction"),
+              std::string::npos);
+}
+
+TEST(ExecOptionsValidation, RejectionsFlowThroughExecuteProgram)
+{
+    const ExecProgram program =
+        ExecProgram::fromCircuit(makeQft(3), "rejected");
+    ExecOptions options;
+    options.shots = 0;
+    auto result = executeProgram(program, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::InvalidConfig);
+
+    options.shots = 4;
+    options.seed = -1;
+    result = executeProgram(program, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::InvalidConfig);
+
+    options.seed = 1;
+    options.backend = "nope";
+    result = executeProgram(program, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::InvalidConfig);
+}
+
+TEST(ExecDispatch, StabilizerRejectsNonCliffordPatterns)
+{
+    // QFT carries pi/4-family phases: not a Clifford pattern.
+    ExecOptions options;
+    options.backend = "stabilizer";
+    options.shots = 4;
+    auto result = executeProgram(
+        ExecProgram::fromCircuit(makeQft(4)), options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_NE(result.status().message().find("Clifford"),
+              std::string::npos);
+}
+
+TEST(ExecDispatch, PatternBackendsRejectGraphOnlyPrograms)
+{
+    const Pattern pattern = ExecProgram::fromCircuit(makeQft(3))
+                                .pattern();
+    const ExecProgram graph_only = ExecProgram::fromGraph(
+        pattern.graph(),
+        Digraph(pattern.graph().numNodes()), "graph-only");
+    ExecOptions options;
+    options.shots = 4;
+    auto result = executeProgram(graph_only, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(),
+              StatusCode::FailedPrecondition);
+}
+
+TEST(ExecDispatch, LossBackendRequiresACompiledSchedule)
+{
+    ExecOptions options;
+    options.backend = "mc-loss";
+    options.shots = 8;
+    auto result = executeProgram(
+        ExecProgram::fromCircuit(makeQft(4)), options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_NE(result.status().message().find("compile"),
+              std::string::npos);
+}
+
+TEST(ExecStatevector, CountsCoverAllShotsAndProbabilitiesNormalize)
+{
+    ExecOptions options;
+    options.shots = 96;
+    options.seed = 5;
+    auto result = executeProgram(
+        ExecProgram::fromCircuit(makeQaoaMaxcut(4, 3), "qaoa"),
+        options);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+
+    EXPECT_EQ(result->backend, "statevector");
+    EXPECT_EQ(result->label, "qaoa");
+    EXPECT_EQ(result->shots, 96);
+    EXPECT_EQ(result->completedShots, 96);
+    EXPECT_EQ(result->numWires, 4);
+    EXPECT_EQ(result->seed, 5);
+
+    std::int64_t total = 0;
+    for (const auto &[bits, count] : result->counts) {
+        EXPECT_EQ(bits.size(), 4u);
+        total += count;
+    }
+    EXPECT_EQ(total, 96);
+
+    double prob_total = 0.0;
+    for (const auto &[bits, p] : result->probabilities)
+        prob_total += p;
+    EXPECT_NEAR(prob_total, 1.0, 1e-9);
+}
+
+TEST(ExecStatevector, RawModeSkipsExactProbabilities)
+{
+    ExecOptions options;
+    options.shots = 8;
+    options.applyByproducts = false;
+    auto result = executeProgram(
+        ExecProgram::fromCircuit(makeQft(3)), options);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_TRUE(result->probabilities.empty());
+    ASSERT_EQ(result->notes.size(), 1u);
+}
+
+TEST(ExecParallelism, ShotSamplingIsThreadCountInvariant)
+{
+    // The per-shot seeding contract: 1 worker and 4 workers must
+    // produce bit-identical results on every backend.
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(2));
+    const auto request = CompileRequest::fromCircuit(
+        makeRandomCliffordCircuit(4, 12, 9), "threads");
+
+    for (const char *backend :
+         {"statevector", "stabilizer", "mc-loss"}) {
+        ExecOptions serial;
+        serial.backend = backend;
+        serial.shots = 64;
+        serial.seed = 11;
+        serial.numThreads = 1;
+        serial.lossModel.cyclePeriodNs = 50.0;
+        ExecOptions parallel = serial;
+        parallel.numThreads = 4;
+
+        auto a = driver.compileAndExecute(request, serial);
+        auto b = driver.compileAndExecute(request, parallel);
+        ASSERT_TRUE(a.ok()) << a.status().toString();
+        ASSERT_TRUE(b.ok()) << b.status().toString();
+        ASSERT_EQ(a->executions.size(), 1u);
+        ASSERT_EQ(b->executions.size(), 1u);
+        EXPECT_EQ(b->executions[0].threads, 4);
+        // Thread count is an execution detail, not a result field.
+        ExecResult copy = b->executions[0];
+        copy.threads = a->executions[0].threads;
+        expectSameExecResult(a->executions[0], copy);
+    }
+}
+
+TEST(ExecDriver, CompileAndExecuteRecordsStagesAndStatistics)
+{
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(4));
+    const auto request = CompileRequest::fromCircuit(
+        makeRandomCliffordCircuit(4, 14, 21), "multi");
+
+    ExecOptions sv;
+    sv.shots = 32;
+    sv.seed = 6;
+    ExecOptions loss = sv;
+    loss.backend = "mc-loss";
+    loss.lossModel.cyclePeriodNs = 30.0;
+
+    auto compile_only = driver.compile(request);
+    ASSERT_TRUE(compile_only.ok());
+    EXPECT_TRUE(compile_only->executions.empty());
+
+    auto report = driver.compileAndExecute(request, {sv, loss});
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    ASSERT_EQ(report->executions.size(), 2u);
+    EXPECT_EQ(report->executions[0].backend, "statevector");
+    EXPECT_EQ(report->executions[1].backend, "mc-loss");
+
+    // One timed "Execute[...]" stage per backend, after the passes.
+    const auto &stages = report->stages;
+    ASSERT_GE(stages.size(), compile_only->stages.size() + 2);
+    EXPECT_EQ(stages[stages.size() - 2].pass,
+              "Execute[statevector]");
+    EXPECT_EQ(stages[stages.size() - 1].pass, "Execute[mc-loss]");
+    EXPECT_GE(report->totalMillis, compile_only->totalMillis);
+
+    // Loss statistics are aggregated into the histogram keys.
+    const ExecResult &mc = report->executions[1];
+    EXPECT_EQ(mc.counts.at("success") + mc.counts.at("loss"),
+              mc.shots);
+    EXPECT_EQ(mc.completedShots + mc.lostShots, mc.shots);
+    EXPECT_GE(mc.analyticSuccessProbability, 0.0);
+    EXPECT_LE(mc.analyticSuccessProbability, 1.0);
+    EXPECT_GT(mc.maxStorageCycles, 0);
+}
+
+TEST(ExecDriver, CompileAndExecuteRejectsBadInputsViaStatus)
+{
+    const CompilerDriver good(
+        CompileOptions().numQpus(2).gridSize(7));
+    const auto request =
+        CompileRequest::fromCircuit(makeQft(4), "reject");
+
+    // No backends requested.
+    auto none = good.compileAndExecute(
+        request, std::vector<ExecOptions>{});
+    ASSERT_FALSE(none.ok());
+    EXPECT_EQ(none.status().code(), StatusCode::InvalidArgument);
+
+    // Bad exec options are rejected up front, before any pass runs.
+    ExecOptions bad_exec;
+    bad_exec.shots = -3;
+    auto bad = good.compileAndExecute(request, bad_exec);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::InvalidConfig);
+
+    // Bad compile options never reach execution.
+    const CompilerDriver invalid(
+        CompileOptions().numQpus(0).gridSize(7));
+    auto rejected = invalid.compileAndExecute(request, ExecOptions{});
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::InvalidConfig);
+}
+
+TEST(ExecSerialize, ExecResultArtifactRoundTrips)
+{
+    ExecOptions options;
+    options.shots = 48;
+    options.seed = 12;
+    auto result = executeProgram(
+        ExecProgram::fromCircuit(
+            makeRandomCliffordCircuit(3, 10, 77), "roundtrip"),
+        options);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+
+    const auto bytes = encodeExecResultArtifact(*result);
+    auto decoded = decodeExecResultArtifact(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    expectSameExecResult(*result, *decoded);
+    EXPECT_DOUBLE_EQ(decoded->wallMillis, result->wallMillis);
+    EXPECT_EQ(decoded->threads, result->threads);
+
+    // JSON writer accepts it (spot-check the envelope key).
+    const std::string json = toJson(*decoded);
+    EXPECT_NE(json.find("\"artifact\": \"exec-result\""),
+              std::string::npos);
+}
+
+TEST(ExecSerialize, CorruptedExecResultArtifactIsRejected)
+{
+    ExecResult result;
+    result.backend = "statevector";
+    result.shots = 4;
+    result.completedShots = 4;
+    result.counts["00"] = 4;
+    auto bytes = encodeExecResultArtifact(result);
+    bytes[bytes.size() / 2] ^= 0x40;
+    auto decoded = decodeExecResultArtifact(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(ExecSerialize, InconsistentShotCountsAreRejected)
+{
+    ExecResult result;
+    result.backend = "statevector";
+    result.shots = 4;
+    result.completedShots = 9; // > shots: corrupted payload
+    BinaryWriter writer;
+    encodeExecResult(writer, result);
+    BinaryReader reader(writer.bytes());
+    decodeExecResult(reader);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("shot counts"),
+              std::string::npos);
+}
+
+TEST(ExecSerialize, ReportWithExecutionsRoundTrips)
+{
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(8));
+    ExecOptions exec;
+    exec.shots = 16;
+    exec.seed = 3;
+    auto report = driver.compileAndExecute(
+        CompileRequest::fromCircuit(
+            makeRandomCliffordCircuit(3, 8, 5), "report-rt"),
+        exec);
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    ASSERT_EQ(report->executions.size(), 1u);
+
+    const auto bytes = encodeCompileReportArtifact(*report);
+    auto decoded = decodeCompileReportArtifact(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    ASSERT_EQ(decoded->executions.size(), 1u);
+    expectSameExecResult(report->executions[0],
+                         decoded->executions[0]);
+    const std::string json = toJson(*decoded);
+    EXPECT_NE(json.find("\"executions\""), std::string::npos);
+}
+
+} // namespace
+} // namespace dcmbqc

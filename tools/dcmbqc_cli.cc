@@ -4,6 +4,8 @@
  *
  *   dcmbqc compile   compile a generated or serialized circuit and
  *                    write the compile-report artifact to a file
+ *   dcmbqc run       compile a serialized circuit/pattern artifact
+ *                    and execute it on the execution backends
  *   dcmbqc inspect   pretty-print any artifact file as JSON
  *   dcmbqc stats     one-screen summary of an artifact file
  *
@@ -11,11 +13,13 @@
  * non-zero code; nothing in this tool aborts.
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,8 +43,8 @@ usage()
     std::fprintf(
         stderr,
         "usage:\n"
-        "  dcmbqc compile (--family qft|qaoa|vqe|rca --qubits N | "
-        "--in CIRCUIT.dcmbqc)\n"
+        "  dcmbqc compile (--family qft|qaoa|vqe|rca|clifford "
+        "--qubits N | --in CIRCUIT.dcmbqc)\n"
         "                 [-o REPORT.dcmbqc] [--qpus N] [--grid L] "
         "[--kmax K]\n"
         "                 [--seed S] [--pl-ratio R] [--resource-state "
@@ -48,6 +52,16 @@ usage()
         "                 [--no-bdir] [--baseline] [--label NAME]\n"
         "                 [--cache-dir DIR] [--save-circuit "
         "FILE.dcmbqc] [--quiet]\n"
+        "  dcmbqc run     ARTIFACT.dcmbqc (circuit or pattern)\n"
+        "                 [--backend statevector|stabilizer|mc-loss"
+        "|all]\n"
+        "                 [--shots N] [--exec-seed S] [--threads N] "
+        "[--raw]\n"
+        "                 [--cycle-ns X] [--qpus N] [--grid L] "
+        "[--kmax K]\n"
+        "                 [--seed S] [--pl-ratio R] [--no-bdir] "
+        "[--cache-dir DIR]\n"
+        "                 [-o REPORT.dcmbqc] [--quiet]\n"
         "  dcmbqc inspect FILE.dcmbqc\n"
         "  dcmbqc stats   FILE.dcmbqc\n");
     return 2;
@@ -121,9 +135,14 @@ makeFamilyCircuit(const std::string &family, int qubits,
                 "rca needs --qubits >= 6");
         return makeRippleCarryAdder(qubits);
     }
+    // Random Clifford programs: executable on every backend,
+    // including the stabilizer tableau (dcmbqc run --backend all).
+    if (family == "clifford")
+        return makeRandomCliffordCircuit(qubits, 5 * qubits,
+                                         seed == 0 ? 7 : seed);
     return Status::invalidArgument(
         "unknown --family '" + family +
-        "' (expected qft|qaoa|vqe|rca)");
+        "' (expected qft|qaoa|vqe|rca|clifford)");
 }
 
 // --- compile ---------------------------------------------------------------
@@ -319,6 +338,302 @@ runCompile(const std::vector<std::string> &args)
     return 0;
 }
 
+// --- run -------------------------------------------------------------------
+
+/** Signed 64-bit parser for --exec-seed (negatives reach validate()). */
+bool
+parseI64(const char *text, std::int64_t &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return false;
+    out = static_cast<std::int64_t>(value);
+    return true;
+}
+
+bool
+parseDouble(const char *text, double &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return false;
+    out = value;
+    return true;
+}
+
+void
+printExecSummary(const ExecResult &result)
+{
+    std::printf("backend %-11s %d/%d shots, %d thread(s), %.2f ms\n",
+                result.backend.c_str(), result.completedShots,
+                result.shots, result.threads, result.wallMillis);
+    if (result.analyticSuccessProbability >= 0.0) {
+        std::printf("  survival rate     %.4f (analytic %.4f)\n",
+                    result.survivalRate(),
+                    result.analyticSuccessProbability);
+        std::printf("  photon storage    max %d cycles, mean %.1f "
+                    "cycles\n",
+                    result.maxStorageCycles,
+                    result.meanStorageCycles);
+        return;
+    }
+    // Top outcomes by frequency (ties broken by bitstring).
+    std::vector<std::pair<std::string, std::int64_t>> top(
+        result.counts.begin(), result.counts.end());
+    std::sort(top.begin(), top.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second != b.second ? a.second > b.second
+                                              : a.first < b.first;
+              });
+    const std::size_t shown = std::min<std::size_t>(top.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+        const auto prob = result.probabilities.find(top[i].first);
+        if (prob != result.probabilities.end())
+            std::printf("  %-20s %6lld  (exact p %.4f)\n",
+                        top[i].first.c_str(),
+                        (long long)top[i].second, prob->second);
+        else
+            std::printf("  %-20s %6lld\n", top[i].first.c_str(),
+                        (long long)top[i].second);
+    }
+    if (top.size() > shown)
+        std::printf("  ... %zu more outcome(s)\n", top.size() - shown);
+    for (const std::string &note : result.notes)
+        std::printf("  note: %s\n", note.c_str());
+}
+
+int
+runRun(const std::vector<std::string> &args)
+{
+    std::string artifact_path, backend = "all", out_path, cache_dir;
+    int shots = 256, threads = 0;
+    int qpus = 4, grid = 0, kmax = 4, pl_ratio = 0;
+    std::uint64_t seed = 1;
+    std::int64_t exec_seed = -1;
+    bool exec_seed_set = false;
+    double cycle_ns = 1.0;
+    bool use_bdir = true, raw = false, quiet = false;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "dcmbqc: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return args[++i].c_str();
+        };
+        if (arg == "--backend") {
+            const char *v = next("--backend");
+            if (!v) return 2;
+            backend = v;
+        } else if (arg == "-o" || arg == "--out") {
+            const char *v = next("-o");
+            if (!v) return 2;
+            out_path = v;
+        } else if (arg == "--cache-dir") {
+            const char *v = next("--cache-dir");
+            if (!v) return 2;
+            cache_dir = v;
+        } else if (arg == "--seed") {
+            const char *v = next("--seed");
+            if (!v) return 2;
+            if (!parseU64(v, seed)) {
+                std::fprintf(stderr,
+                             "dcmbqc: --seed expects an unsigned "
+                             "64-bit integer, got '%s'\n",
+                             v);
+                return 2;
+            }
+        } else if (arg == "--exec-seed") {
+            const char *v = next("--exec-seed");
+            if (!v) return 2;
+            if (!parseI64(v, exec_seed)) {
+                std::fprintf(stderr,
+                             "dcmbqc: --exec-seed expects a 64-bit "
+                             "integer, got '%s'\n",
+                             v);
+                return 2;
+            }
+            exec_seed_set = true;
+        } else if (arg == "--cycle-ns") {
+            const char *v = next("--cycle-ns");
+            if (!v) return 2;
+            if (!parseDouble(v, cycle_ns)) {
+                std::fprintf(stderr,
+                             "dcmbqc: --cycle-ns expects a number, "
+                             "got '%s'\n",
+                             v);
+                return 2;
+            }
+        } else if (arg == "--no-bdir") {
+            use_bdir = false;
+        } else if (arg == "--raw") {
+            raw = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+            int *slot = nullptr;
+            if (arg == "--shots") slot = &shots;
+            else if (arg == "--threads") slot = &threads;
+            else if (arg == "--qpus") slot = &qpus;
+            else if (arg == "--grid") slot = &grid;
+            else if (arg == "--kmax") slot = &kmax;
+            else if (arg == "--pl-ratio") slot = &pl_ratio;
+            if (!slot) {
+                std::fprintf(stderr, "dcmbqc: unknown option '%s'\n",
+                             arg.c_str());
+                return usage();
+            }
+            const char *v = next(arg.c_str());
+            if (!v) return 2;
+            if (!parseInt(v, *slot)) {
+                std::fprintf(stderr,
+                             "dcmbqc: %s expects an integer, got "
+                             "'%s'\n",
+                             arg.c_str(), v);
+                return 2;
+            }
+        } else if (artifact_path.empty()) {
+            artifact_path = arg;
+        } else {
+            std::fprintf(stderr,
+                         "dcmbqc: run takes one artifact, got '%s' "
+                         "and '%s'\n",
+                         artifact_path.c_str(), arg.c_str());
+            return usage();
+        }
+    }
+    if (artifact_path.empty()) {
+        std::fprintf(stderr, "dcmbqc: run needs an artifact file\n");
+        return usage();
+    }
+
+    // Accept the two artifact kinds that carry program semantics.
+    auto bytes = loadArtifactFile(artifact_path);
+    if (!bytes.ok())
+        return fail(bytes.status());
+    auto view = openArtifact(*bytes);
+    if (!view.ok())
+        return fail(view.status());
+
+    std::optional<CompileRequest> request;
+    int default_grid_qubits = 0;
+    if (view->kind == ArtifactKind::Circuit) {
+        auto circuit = decodeCircuitArtifact(*bytes);
+        if (!circuit.ok())
+            return fail(circuit.status());
+        default_grid_qubits = circuit->numQubits();
+        request = CompileRequest::fromCircuit(std::move(*circuit));
+    } else if (view->kind == ArtifactKind::Pattern) {
+        auto pattern = decodePatternArtifact(*bytes);
+        if (!pattern.ok())
+            return fail(pattern.status());
+        default_grid_qubits = pattern->numWires();
+        request = CompileRequest::fromPattern(std::move(*pattern));
+    } else {
+        return fail(Status::invalidArgument(
+            std::string("run executes circuit or pattern artifacts; "
+                        "'") +
+            artifactKindName(view->kind) +
+            "' carries no program semantics"));
+    }
+    request->withLabel(artifact_path);
+
+    CompileOptions options;
+    options.numQpus(qpus)
+        .kmax(kmax)
+        .gridSize(grid > 0 ? grid
+                           : gridSizeForQubits(default_grid_qubits))
+        .useBdir(use_bdir)
+        .seed(seed);
+    if (pl_ratio > 0)
+        options.plRatio(pl_ratio);
+    std::shared_ptr<CompileCache> cache;
+    if (!cache_dir.empty()) {
+        CacheConfig cache_config;
+        cache_config.diskDir = cache_dir;
+        cache = std::make_shared<CompileCache>(cache_config);
+        options.cache(cache);
+    }
+
+    const CompilerDriver driver(options);
+    auto compiled = driver.compile(*request);
+    if (!compiled.ok())
+        return fail(compiled.status());
+    CompileReport report = std::move(compiled.value());
+    if (!quiet)
+        std::printf("compiled %s: %s, execution time %d cycles, "
+                    "required lifetime %d cycles\n",
+                    report.label.c_str(),
+                    report.cacheHit ? "cache hit" : "full pipeline",
+                    report.result().executionTime(),
+                    report.result().requiredLifetime());
+
+    const ExecProgram program =
+        ExecProgram::fromRequest(*request).withSchedule(
+            report.result());
+
+    const bool run_all = backend == "all";
+    const std::vector<std::string> selected =
+        run_all ? backendNames() : std::vector<std::string>{backend};
+
+    ExecOptions exec;
+    exec.shots = shots;
+    exec.numThreads = threads;
+    exec.applyByproducts = !raw;
+    exec.lossModel.cyclePeriodNs = cycle_ns;
+    // The compile seed doubles as the execution seed unless
+    // overridden (clamped into the signed domain validate() checks).
+    exec.seed = exec_seed_set
+        ? exec_seed
+        : static_cast<std::int64_t>(seed & 0x7fffffffffffffffull);
+
+    int executed = 0;
+    for (const std::string &name : selected) {
+        exec.backend = name;
+        auto result = driver.execute(program, exec);
+        if (!result.ok()) {
+            // Under "all", a backend that cannot run *this* program
+            // (non-Clifford pattern, too many wires) is reported and
+            // skipped; an explicitly requested backend is fatal.
+            if (run_all &&
+                result.status().code() ==
+                    StatusCode::FailedPrecondition) {
+                if (!quiet)
+                    std::printf("backend %-11s skipped: %s\n",
+                                name.c_str(),
+                                result.status().message().c_str());
+                continue;
+            }
+            return fail(result.status());
+        }
+        if (!quiet)
+            printExecSummary(*result);
+        report.addExecution(std::move(result.value()));
+        ++executed;
+    }
+    if (executed == 0)
+        return fail(Status::failedPrecondition(
+            "no requested backend could execute this program"));
+
+    if (!out_path.empty()) {
+        const Status saved = saveArtifactFile(
+            out_path, encodeCompileReportArtifact(report));
+        if (!saved.ok())
+            return fail(saved);
+        if (!quiet)
+            std::printf("wrote report artifact %s (%d execution(s))\n",
+                        out_path.c_str(), executed);
+    }
+    return 0;
+}
+
 // --- inspect / stats -------------------------------------------------------
 
 /** Decode an artifact file and JSON-print its payload. */
@@ -385,6 +700,13 @@ runInspect(const std::string &path)
       }
       case ArtifactKind::CompileReport: {
         auto decoded = decodeCompileReportArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        json = toJson(*decoded);
+        break;
+      }
+      case ArtifactKind::ExecResult: {
+        auto decoded = decodeExecResultArtifact(*bytes);
         if (!decoded.ok())
             return fail(decoded.status());
         json = toJson(*decoded);
@@ -483,6 +805,14 @@ runStats(const std::string &path)
             .cell("stages")
             .cell(static_cast<long long>(decoded->stages.size()));
         table.row().cell("total ms").cell(decoded->totalMillis, 2);
+        table.row()
+            .cell("executions")
+            .cell(static_cast<long long>(decoded->executions.size()));
+        for (const ExecResult &execution : decoded->executions)
+            table.row()
+                .cell("  " + execution.backend)
+                .cell(std::to_string(execution.completedShots) + "/" +
+                      std::to_string(execution.shots) + " shots");
         if (decoded->distributed) {
             table.row()
                 .cell("connectors")
@@ -491,6 +821,30 @@ runStats(const std::string &path)
                 .cell("QPUs")
                 .cell(static_cast<int>(
                     decoded->result().localSchedules.size()));
+        }
+        break;
+      }
+      case ArtifactKind::ExecResult: {
+        auto decoded = decodeExecResultArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        table.row().cell("backend").cell(decoded->backend);
+        table.row().cell("label").cell(decoded->label);
+        table.row()
+            .cell("shots")
+            .cell(std::to_string(decoded->completedShots) + "/" +
+                  std::to_string(decoded->shots));
+        table.row().cell("wires").cell(decoded->numWires);
+        table.row()
+            .cell("distinct outcomes")
+            .cell(static_cast<long long>(decoded->counts.size()));
+        if (decoded->analyticSuccessProbability >= 0.0) {
+            table.row()
+                .cell("survival rate")
+                .cell(decoded->survivalRate(), 4);
+            table.row()
+                .cell("analytic success")
+                .cell(decoded->analyticSuccessProbability, 4);
         }
         break;
       }
@@ -513,6 +867,8 @@ main(int argc, char **argv)
 
     if (command == "compile")
         return runCompile(args);
+    if (command == "run")
+        return runRun(args);
     if (command == "inspect" && args.size() == 1)
         return runInspect(args[0]);
     if (command == "stats" && args.size() == 1)
