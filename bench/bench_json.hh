@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Machine-readable bench output: each harness can mirror its printed
+ * table into `BENCH_<name>.json` so CI and regression tooling can
+ * diff results without scraping text tables. Files land in
+ * `$DCMBQC_BENCH_JSON_DIR` when set, else the current directory.
+ */
+
+#ifndef DCMBQC_BENCH_BENCH_JSON_HH
+#define DCMBQC_BENCH_BENCH_JSON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace dcmbqc::bench
+{
+
+/** Destination path for one bench's JSON mirror. */
+inline std::string
+benchJsonPath(const std::string &name)
+{
+    std::string dir = ".";
+    if (const char *env = std::getenv("DCMBQC_BENCH_JSON_DIR"))
+        if (*env)
+            dir = env;
+    if (dir.back() != '/')
+        dir += '/';
+    return dir + "BENCH_" + name + ".json";
+}
+
+/**
+ * Write one bench's JSON document (newline-terminated). The bench
+ * already printed its human-readable table, so a write failure is
+ * fatal only to the machine-readable mirror, not the run.
+ */
+inline void
+writeBenchJson(const std::string &name, const std::string &json)
+{
+    const std::string path = benchJsonPath(name);
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file) {
+        std::fprintf(stderr, "bench: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace dcmbqc::bench
+
+#endif // DCMBQC_BENCH_BENCH_JSON_HH

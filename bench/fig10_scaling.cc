@@ -5,13 +5,16 @@
  * the pattern/dependency construction is done once outside the
  * timed region). Compares the monolithic baseline against DC-MBQC
  * (Core, list scheduling only) and DC-MBQC (Core + BDIR).
+ * Results are mirrored to BENCH_fig10_scaling.json.
  */
 
 #include <chrono>
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 #include "common/table.hh"
+#include "serialize/json.hh"
 
 using namespace dcmbqc;
 using namespace dcmbqc::bench;
@@ -34,6 +37,10 @@ main()
 {
     TextTable table({"Qubits", "Baseline (s)", "DC Core (s)",
                      "DC Core+BDIR (s)"});
+    JsonWriter json;
+    json.beginObject();
+    json.key("bench").value("fig10_scaling");
+    json.key("rows").beginArray();
 
     for (int qubits : {20, 40, 60, 80, 100}) {
         const auto p = prepare(Family::Qft, qubits);
@@ -72,11 +79,21 @@ main()
             .cell(seconds(t0, t1), 4)
             .cell(seconds(t1, t2), 4)
             .cell(seconds(t2, t3), 4);
+
+        json.beginObject();
+        json.key("qubits").value(qubits);
+        json.key("baselineSeconds").value(seconds(t0, t1));
+        json.key("coreSeconds").value(seconds(t1, t2));
+        json.key("coreBdirSeconds").value(seconds(t2, t3));
+        json.endObject();
     }
     std::printf("%s",
                 table
                     .render("Figure 10: compilation runtime scaling "
                             "(QFT, 8 QPUs)")
                     .c_str());
+    json.endArray();
+    json.endObject();
+    writeBenchJson("fig10_scaling", json.take());
     return 0;
 }

@@ -3,9 +3,14 @@
  * Micro-benchmark of the content-addressed compile cache: wall-clock
  * of the full pipeline vs the cache hit path (decode + replay) for
  * each benchmark family, plus the batch-level effect of deduplicating
- * a request mix with many repeats. Plain chrono harness so it builds
- * without google-benchmark.
+ * a request mix with many repeats, plus warm-hit parity between an
+ * in-process driver and a `dcmbqcd`-style service round trip (hot
+ * path: raw artifact bytes over the socket, no worker dispatch).
+ * Plain chrono harness so it builds without google-benchmark.
+ * Results are mirrored to BENCH_micro_cache.json.
  */
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -13,8 +18,12 @@
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 #include "cache/compile_cache.hh"
 #include "common/table.hh"
+#include "serialize/json.hh"
+#include "service/client.hh"
+#include "service/server.hh"
 
 using namespace dcmbqc;
 using namespace dcmbqc::bench;
@@ -44,6 +53,119 @@ timeCompiles(const CompilerDriver &driver,
     return millisSince(start) / reps;
 }
 
+/** Daemon warm hit vs in-process warm hit on the same program. */
+struct DaemonParity
+{
+    std::string program;
+    double inProcessHitMs = 0.0;
+
+    /** Probe-first warm hit (request keyed client-side per call). */
+    double daemonHitMs = 0.0;
+
+    /** Steady-state by-key fetch (no request, no re-keying). */
+    double daemonFetchMs = 0.0;
+
+    /** Warm hit that re-ships the full request IR every call. */
+    double daemonResendHitMs = 0.0;
+
+    unsigned long long hotReplies = 0;
+};
+
+/**
+ * Measure the service hot path against the in-process replay path.
+ * Both sides warm their own cache with one real (miss) compilation
+ * of the same request, then serve `reps` hits; the daemon side goes
+ * through a loopback Unix socket into an in-process ServiceServer,
+ * so the delta is exactly the protocol + syscall overhead.
+ */
+DaemonParity
+measureDaemonParity(int reps)
+{
+    const auto p = prepare(Family::Qft, 36);
+    const auto request = makeRequest(p);
+    const auto config = paperConfig(4, p.gridSize);
+
+    DaemonParity parity;
+    parity.program = p.name;
+
+    // In-process warm hit: decode + replay from the memory tier.
+    auto cache = std::make_shared<CompileCache>();
+    const CompilerDriver warm(
+        CompileOptions::fromConfig(config).cache(cache));
+    auto first = warm.compile(request);
+    if (!first.ok())
+        fatal("micro_cache: ", first.status().toString());
+    parity.inProcessHitMs = timeCompiles(warm, request, reps);
+
+    // Daemon warm hit: hot path ships the raw cached artifact.
+    ServiceConfig service;
+    service.socketPath = "/tmp/dcmbqc-bench-" +
+        std::to_string(static_cast<long>(::getpid())) + ".sock";
+    service.workers = 2;
+
+    ServiceServer server(service);
+    const Status up = server.start();
+    if (!up.ok())
+        fatal("micro_cache: ", up.toString());
+
+    ServiceClient client;
+    const Status connected = client.connect(service.socketPath);
+    if (!connected.ok())
+        fatal("micro_cache: ", connected.toString());
+
+    ServiceJob job;
+    job.request = request;
+    job.config = config;
+
+    auto miss = client.compile(job);
+    if (!miss.ok())
+        fatal("micro_cache: ", miss.status().toString());
+    if (miss->hotServed)
+        fatal("micro_cache: first daemon compile must be a miss");
+
+    // Probe-first path (what `dcmbqc compile --daemon` uses).
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+        auto served = client.compileCached(job);
+        if (!served.ok())
+            fatal("micro_cache: ", served.status().toString());
+        if (!served->hotServed)
+            fatal("micro_cache: daemon warm compile not hot-served");
+    }
+    parity.daemonHitMs = millisSince(start) / reps;
+
+    // Steady-state client: the content address from the first reply
+    // is reused, so neither side touches the request IR again.
+    const std::uint64_t key = miss->report.cacheKey;
+    const std::uint64_t verifier = miss->report.cacheVerifier;
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+        auto served = client.fetch(key, verifier);
+        if (!served.ok())
+            fatal("micro_cache: ", served.status().toString());
+        if (!served->hotServed)
+            fatal("micro_cache: daemon fetch not hot-served");
+    }
+    parity.daemonFetchMs = millisSince(start) / reps;
+
+    // Full-job resend for comparison: same hot reply, but the
+    // request IR crosses the socket and is re-keyed every call.
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+        auto served = client.compile(job);
+        if (!served.ok())
+            fatal("micro_cache: ", served.status().toString());
+        if (!served->hotServed)
+            fatal("micro_cache: daemon warm compile not hot-served");
+    }
+    parity.daemonResendHitMs = millisSince(start) / reps;
+    parity.hotReplies = server.statsSnapshot().hotReplies;
+
+    client.close();
+    server.stop();
+    return parity;
+}
+
 } // namespace
 
 int
@@ -51,6 +173,10 @@ main()
 {
     TextTable table({"Program", "pipeline ms", "hit ms", "speedup",
                      "artifact KB"});
+    JsonWriter json;
+    json.beginObject();
+    json.key("bench").value("micro_cache");
+    json.key("families").beginArray();
 
     for (Family family :
          {Family::Qaoa, Family::Vqe, Family::Qft, Family::Rca}) {
@@ -75,13 +201,27 @@ main()
         if (!bytes)
             fatal("micro_cache: warmed key missing");
 
+        const double speedup =
+            hit_ms > 0 ? pipeline_ms / hit_ms : 0.0;
+        const double artifact_kb =
+            static_cast<double>(bytes->size()) / 1024.0;
         table.row()
             .cell(p.name)
             .cell(pipeline_ms, 3)
             .cell(hit_ms, 3)
-            .cell(hit_ms > 0 ? pipeline_ms / hit_ms : 0.0, 1)
-            .cell(static_cast<double>(bytes->size()) / 1024.0, 1);
+            .cell(speedup, 1)
+            .cell(artifact_kb, 1);
+
+        json.beginObject();
+        json.key("program").value(p.name);
+        json.key("qubits").value(p.qubits);
+        json.key("pipelineMs").value(pipeline_ms);
+        json.key("hitMs").value(hit_ms);
+        json.key("speedup").value(speedup);
+        json.key("artifactKb").value(artifact_kb);
+        json.endObject();
     }
+    json.endArray();
     std::printf("%s\n",
                 table
                     .render("Compile cache: full pipeline vs hit "
@@ -119,5 +259,44 @@ main()
                 cached_ms > 0 ? uncached_ms / cached_ms : 0.0,
                 (unsigned long long)stats.hits,
                 (unsigned long long)stats.misses);
+
+    json.key("batch").beginObject();
+    json.key("requests").value((long long)mix.size());
+    json.key("unique").value(4);
+    json.key("uncachedMs").value(uncached_ms);
+    json.key("cachedMs").value(cached_ms);
+    json.key("hits").value((unsigned long long)stats.hits);
+    json.key("misses").value((unsigned long long)stats.misses);
+    json.endObject();
+
+    // Service hot path vs in-process replay on the same request.
+    const DaemonParity parity = measureDaemonParity(20);
+    std::printf("daemon parity (%s, 20 reps): in-process hit "
+                "%.3f ms; daemon hot hit %.3f ms (probe), "
+                "%.3f ms (by-key fetch), %.3f ms (full resend); "
+                "%llu hot replies\n",
+                parity.program.c_str(), parity.inProcessHitMs,
+                parity.daemonHitMs, parity.daemonFetchMs,
+                parity.daemonResendHitMs, parity.hotReplies);
+
+    json.key("daemon").beginObject();
+    json.key("program").value(parity.program);
+    json.key("reps").value(20);
+    json.key("inProcessHitMs").value(parity.inProcessHitMs);
+    json.key("daemonHitMs").value(parity.daemonHitMs);
+    json.key("daemonFetchMs").value(parity.daemonFetchMs);
+    json.key("daemonResendHitMs").value(parity.daemonResendHitMs);
+    json.key("daemonToInProcessRatio")
+        .value(parity.inProcessHitMs > 0
+                   ? parity.daemonHitMs / parity.inProcessHitMs
+                   : 0.0);
+    json.key("fetchToInProcessRatio")
+        .value(parity.inProcessHitMs > 0
+                   ? parity.daemonFetchMs / parity.inProcessHitMs
+                   : 0.0);
+    json.key("hotReplies").value(parity.hotReplies);
+    json.endObject();
+    json.endObject();
+    writeBenchJson("micro_cache", json.take());
     return 0;
 }

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cooperative cancellation and deadline enforcement for compile
+ * requests. A `CancellationToken` is shared between the party that
+ * owns a request's lifetime (a caller thread, a service session) and
+ * the pipeline executing it: the owner cancels or arms a deadline,
+ * and the `PassManager` consults the token at every pass boundary —
+ * the same points its observer hooks fire — aborting the pipeline
+ * with `Cancelled` / `DeadlineExceeded` instead of finishing work
+ * nobody is waiting for.
+ *
+ * Enforcement is cooperative and pass-granular: a pass that is
+ * already running finishes before the token is honored, so
+ * cancellation latency is bounded by the longest single pass, never
+ * by the remaining pipeline.
+ */
+
+#ifndef DCMBQC_API_CANCELLATION_HH
+#define DCMBQC_API_CANCELLATION_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "api/status.hh"
+
+namespace dcmbqc
+{
+
+/** Thread-safe cancel/deadline flag shared with a running compile. */
+class CancellationToken
+{
+  public:
+    CancellationToken() = default;
+
+    // The token is shared by address (borrowed pointers in
+    // CompileRequest / PassContext); copying would silently split
+    // the cancel signal from the pipeline watching it.
+    CancellationToken(const CancellationToken &) = delete;
+    CancellationToken &operator=(const CancellationToken &) = delete;
+
+    /** Signal cancellation; idempotent, callable from any thread. */
+    void
+    cancel()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    /**
+     * Arm an absolute deadline `millis` from now (steady clock).
+     * Re-arming replaces the previous deadline; 0 disarms.
+     */
+    void
+    setDeadlineAfterMillis(std::int64_t millis)
+    {
+        if (millis <= 0) {
+            deadlineNs_.store(0, std::memory_order_relaxed);
+            return;
+        }
+        const auto now = std::chrono::steady_clock::now()
+                             .time_since_epoch();
+        const std::int64_t now_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+                .count();
+        deadlineNs_.store(now_ns + millis * 1000000,
+                          std::memory_order_relaxed);
+    }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    bool
+    deadlineExpired() const
+    {
+        const std::int64_t deadline =
+            deadlineNs_.load(std::memory_order_relaxed);
+        if (deadline == 0)
+            return false;
+        const auto now = std::chrono::steady_clock::now()
+                             .time_since_epoch();
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   now)
+                   .count() >= deadline;
+    }
+
+    /**
+     * OK while the request may keep running; `Cancelled` /
+     * `DeadlineExceeded` once it must stop. Cancellation wins when
+     * both fired (the caller explicitly gave up).
+     */
+    Status
+    check() const
+    {
+        if (cancelled())
+            return Status::cancelled("request cancelled by caller");
+        if (deadlineExpired())
+            return Status::deadlineExceeded(
+                "request deadline expired");
+        return Status::okStatus();
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+
+    /** Steady-clock deadline in ns since epoch; 0 = disarmed. */
+    std::atomic<std::int64_t> deadlineNs_{0};
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_API_CANCELLATION_HH

@@ -161,6 +161,14 @@ CompilerDriver::compileImpl(const CompileRequest &request,
     if (!status.ok())
         return status;
 
+    // A request that is already cancelled or past its deadline must
+    // not even touch the cache: the caller stopped listening.
+    if (request.cancellation()) {
+        status = request.cancellation()->check();
+        if (!status.ok())
+            return status;
+    }
+
     CompileReport report;
     report.label = request.label();
 
@@ -199,6 +207,7 @@ CompilerDriver::compileImpl(const CompileRequest &request,
 
     PassContext ctx;
     ctx.config = *config;
+    ctx.cancel = request.cancellation();
 
     switch (request.entryPoint()) {
       case CompileRequest::EntryPoint::Circuit:
@@ -237,6 +246,12 @@ CompilerDriver::compileImpl(const CompileRequest &request,
 
     report.warnings.insert(report.warnings.end(),
                            ctx.warnings.begin(), ctx.warnings.end());
+
+    // Keep the pattern the front end built (Circuit entry): the
+    // cached artifact then carries everything an execution needs,
+    // so warm hits never re-lower the circuit.
+    if (ctx.patternStorage)
+        report.pattern = std::move(ctx.patternStorage);
 
     if (baseline) {
         report.baseline = std::move(ctx.baseline);
@@ -288,9 +303,26 @@ CompilerDriver::compileAndExecute(
         return compiled.status();
 
     CompileReport report = std::move(compiled.value());
-    ExecProgram program = ExecProgram::fromRequest(request);
+    // Prefer the pattern retained in the report (pipeline-built, or
+    // replayed from the cache) over re-deriving it from the request:
+    // this is what makes a warm hit do zero lowering.
+    ExecProgram program = [&] {
+        if (!report.pattern)
+            return ExecProgram::fromRequest(request);
+        std::string label = request.label();
+        if (label.empty() &&
+            request.entryPoint() == CompileRequest::EntryPoint::Circuit)
+            label = request.circuit().name();
+        return ExecProgram::fromPattern(*report.pattern,
+                                        std::move(label));
+    }();
     program.withSchedule(report.result());
     for (const ExecOptions &exec_options : backends) {
+        if (request.cancellation()) {
+            const Status cancel = request.cancellation()->check();
+            if (!cancel.ok())
+                return cancel;
+        }
         auto result = execute(program, exec_options);
         if (!result.ok())
             return result.status();

@@ -52,6 +52,16 @@ struct CompileReport
     /** Filled by the baseline pipeline. */
     std::optional<BaselineResult> baseline;
 
+    /**
+     * The measurement pattern the pipeline lowered the circuit to
+     * (Circuit entry point only; absent when the request already
+     * supplied a pattern or entered at the graph level). Retained in
+     * the report — and in cached artifacts — so `compileAndExecute`
+     * and the compile service build execution programs from it
+     * directly: a warm cache hit does zero re-lowering.
+     */
+    std::optional<Pattern> pattern;
+
     /** One entry per executed pass, in execution order. */
     std::vector<StageReport> stages;
 

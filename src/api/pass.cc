@@ -27,6 +27,18 @@ PassManager::run(PassContext &ctx, std::vector<StageReport> &stages,
     using Clock = std::chrono::steady_clock;
 
     for (const auto &pass : passes_) {
+        if (ctx.cancel) {
+            Status admission = ctx.cancel->check();
+            if (!admission.ok()) {
+                StageReport report;
+                report.pass = pass->name();
+                report.status = admission;
+                report.note = "aborted before pass ran";
+                stages.push_back(std::move(report));
+                return admission;
+            }
+        }
+
         for (PassObserver *observer : observers_)
             observer->onPassBegin(label, *pass);
 

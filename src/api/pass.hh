@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "api/cancellation.hh"
 #include "api/status.hh"
 #include "circuit/transpile.hh"
 #include "compiler/single_qpu.hh"
@@ -41,6 +42,12 @@ struct PassContext
 {
     /** Normalized configuration (partition.k == numQpus). */
     DcMbqcConfig config;
+
+    /**
+     * Borrowed from the request; consulted by the PassManager at
+     * every pass boundary (null = not cancellable).
+     */
+    const CancellationToken *cancel = nullptr;
 
     /** Borrowed from the request; null for non-circuit entries. */
     const Circuit *circuit = nullptr;
@@ -151,6 +158,13 @@ class PassManager
      * StageReport per executed pass to `stages`. Stops at (and
      * returns) the first non-OK status; the failing pass's stage
      * report is still appended.
+     *
+     * When `ctx.cancel` is set, the token is consulted before every
+     * pass (the same boundaries the observer hooks fire at): a
+     * cancelled or deadline-expired request aborts with `Cancelled` /
+     * `DeadlineExceeded`, recording a zero-millisecond stage for the
+     * pass that never ran so the report shows where the pipeline
+     * stopped.
      *
      * @param label Request label passed through to observers.
      */

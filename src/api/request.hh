@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 
+#include "api/cancellation.hh"
 #include "api/status.hh"
 #include "circuit/circuit.hh"
 #include "graph/digraph.hh"
@@ -66,6 +67,23 @@ class CompileRequest
     }
 
     /**
+     * Attach a borrowed cancellation token watched at every pass
+     * boundary of this request's compilation. The token must outlive
+     * the compile call; it is control metadata, not content — two
+     * requests differing only in their token share a cache line.
+     * Pass nullptr to detach.
+     */
+    CompileRequest &
+    withCancellation(const CancellationToken *token)
+    {
+        cancel_ = token;
+        return *this;
+    }
+
+    /** The attached token; null when the request is not cancellable. */
+    const CancellationToken *cancellation() const { return cancel_; }
+
+    /**
      * Check the request for conditions that would otherwise abort
      * deep inside a pass: empty circuits and patterns, graphs with
      * no nodes, graph/dependency node-count mismatches, and cyclic
@@ -86,6 +104,7 @@ class CompileRequest
 
     EntryPoint entry_ = EntryPoint::Circuit;
     std::string label_;
+    const CancellationToken *cancel_ = nullptr;
     std::optional<Circuit> circuit_;
     std::optional<Pattern> pattern_;
     std::optional<Graph> graph_;

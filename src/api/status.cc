@@ -12,6 +12,11 @@ statusCodeName(StatusCode code)
       case StatusCode::InvalidConfig: return "INVALID_CONFIG";
       case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
       case StatusCode::Internal: return "INTERNAL";
+      case StatusCode::Cancelled: return "CANCELLED";
+      case StatusCode::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::ResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+      case StatusCode::Unavailable: return "UNAVAILABLE";
     }
     return "UNKNOWN";
 }

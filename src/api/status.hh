@@ -38,6 +38,18 @@ enum class StatusCode
 
     /** A pass failed in a way that indicates a library bug. */
     Internal,
+
+    /** The caller cancelled the request before it completed. */
+    Cancelled,
+
+    /** The request's deadline expired before it completed. */
+    DeadlineExceeded,
+
+    /** A bounded resource (admission queue...) is at capacity. */
+    ResourceExhausted,
+
+    /** The serving endpoint is draining or unreachable. */
+    Unavailable,
 };
 
 /** Short stable name of a status code ("OK", "INVALID_CONFIG"...). */
@@ -77,6 +89,32 @@ class Status
     internal(std::string message)
     {
         return Status(StatusCode::Internal, std::move(message));
+    }
+
+    static Status
+    cancelled(std::string message)
+    {
+        return Status(StatusCode::Cancelled, std::move(message));
+    }
+
+    static Status
+    deadlineExceeded(std::string message)
+    {
+        return Status(StatusCode::DeadlineExceeded,
+                      std::move(message));
+    }
+
+    static Status
+    resourceExhausted(std::string message)
+    {
+        return Status(StatusCode::ResourceExhausted,
+                      std::move(message));
+    }
+
+    static Status
+    unavailable(std::string message)
+    {
+        return Status(StatusCode::Unavailable, std::move(message));
     }
 
     bool ok() const { return code_ == StatusCode::Ok; }

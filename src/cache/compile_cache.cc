@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 
@@ -47,6 +48,19 @@ CompileCache::diskPath(std::uint64_t key) const
 {
     if (config_.diskDir.empty())
         return {};
+    const std::string hex = hexKey(key);
+    // Shard by the top byte (the first two hex digits): FNV output
+    // is uniform, so a million-entry store spreads ~4k files per
+    // directory instead of one directory with a million.
+    return config_.diskDir + "/" + hex.substr(0, 2) + "/" + hex +
+        ".dcmbqc";
+}
+
+std::string
+CompileCache::legacyDiskPath(std::uint64_t key) const
+{
+    if (config_.diskDir.empty())
+        return {};
     return config_.diskDir + "/" + hexKey(key) + ".dcmbqc";
 }
 
@@ -74,9 +88,19 @@ CompileCache::lookup(std::uint64_t key)
     }
 
     // Disk tier. The file read and envelope validation run outside
-    // the lock so slow storage never serializes batch workers.
-    const std::string path = diskPath(key);
+    // the lock so slow storage never serializes batch workers. A
+    // sharded-path miss falls back to the pre-shard flat layout so
+    // stores written by older binaries keep hitting.
+    std::string path = diskPath(key);
     auto bytes = loadArtifactFile(path);
+    if (!bytes.ok()) {
+        const std::string legacy = legacyDiskPath(key);
+        auto flat = loadArtifactFile(legacy);
+        if (flat.ok()) {
+            path = legacy;
+            bytes = std::move(flat);
+        }
+    }
     const bool valid = bytes.ok() && openArtifact(*bytes).ok();
 
     std::lock_guard<std::mutex> lock(mutex_);
@@ -126,6 +150,11 @@ CompileCache::insert(std::uint64_t key, std::vector<std::uint8_t> bytes)
         // tearing each other's files.
         static std::atomic<unsigned> temp_counter{0};
         const std::string path = diskPath(key);
+        // Shard directories are created lazily on first write (one
+        // mkdir syscall when it already exists).
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(path).parent_path(), ec);
         const std::string temp = path + ".tmp" +
             std::to_string(static_cast<long>(::getpid())) + "." +
             std::to_string(temp_counter.fetch_add(1));
@@ -145,7 +174,7 @@ CompileCache::insert(std::uint64_t key, std::vector<std::uint8_t> bytes)
 void
 CompileCache::discard(std::uint64_t key)
 {
-    std::string path;
+    std::string path, legacy;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = index_.find(key);
@@ -157,9 +186,68 @@ CompileCache::discard(std::uint64_t key)
             --stats_.hits;
         ++stats_.misses;
         path = diskPath(key);
+        legacy = legacyDiskPath(key);
     }
     if (!path.empty())
         std::remove(path.c_str());
+    if (!legacy.empty())
+        std::remove(legacy.c_str());
+}
+
+DiskStoreStats
+CompileCache::scanDiskStore(const std::string &dir)
+{
+    DiskStoreStats stats;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (dir.empty() || !fs::is_directory(dir, ec))
+        return stats;
+
+    const auto isShardName = [](const std::string &name) {
+        return name.size() == 2 && std::isxdigit(name[0]) &&
+            std::isxdigit(name[1]);
+    };
+    const auto scanFile = [&stats](const fs::path &path, bool flat) {
+        if (path.extension() != ".dcmbqc")
+            return;
+        std::error_code size_ec;
+        const auto bytes = fs::file_size(path, size_ec);
+        if (size_ec)
+            return;
+        ++stats.entries;
+        stats.totalBytes += bytes;
+        if (flat)
+            ++stats.flatEntries;
+        // Header-only validation: 16-byte envelope prefix, checked
+        // for magic/size so a damaged store is visible without
+        // reading gigabytes of payloads.
+        std::FILE *file = std::fopen(path.c_str(), "rb");
+        std::uint8_t header[16];
+        const bool read_ok = file &&
+            std::fread(header, 1, sizeof(header), file) ==
+                sizeof(header);
+        if (file)
+            std::fclose(file);
+        if (!read_ok || header[0] != 'D' || header[1] != 'C' ||
+            header[2] != 'M' || header[3] != 'B')
+            ++stats.unreadable;
+    };
+
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_directory(ec)) {
+            if (!isShardName(entry.path().filename().string()))
+                continue;
+            ++stats.shardDirs;
+            std::error_code shard_ec;
+            for (const auto &file :
+                 fs::directory_iterator(entry.path(), shard_ec))
+                if (file.is_regular_file(shard_ec))
+                    scanFile(file.path(), /*flat=*/false);
+        } else if (entry.is_regular_file(ec)) {
+            scanFile(entry.path(), /*flat=*/true);
+        }
+    }
+    return stats;
 }
 
 CacheStats

@@ -9,12 +9,18 @@
  * Two tiers:
  *  - an in-memory LRU map bounded by `CacheConfig::capacity`;
  *  - an optional on-disk store (`CacheConfig::diskDir`): every entry
- *    is written as `<dir>/<16-hex-key>.dcmbqc`, a regular artifact
- *    file that `dcmbqc inspect` can open directly. Memory misses
- *    fall through to disk and promote back into the LRU tier.
+ *    is written as `<dir>/<2-hex-shard>/<16-hex-key>.dcmbqc` — 256
+ *    shards keyed by the top byte of the content address, so a store
+ *    holding millions of artifacts never concentrates them in one
+ *    directory — and each file is a regular artifact that `dcmbqc
+ *    inspect` can open directly. Memory misses fall through to disk
+ *    and promote back into the LRU tier; lookups also accept the
+ *    pre-shard flat layout (`<dir>/<16-hex-key>.dcmbqc`) so existing
+ *    stores keep hitting.
  *
  * All operations are thread-safe; `CompilerDriver::compileBatch`
- * workers share one instance.
+ * workers and every session of the `dcmbqcd` compile service share
+ * one instance.
  */
 
 #ifndef DCMBQC_CACHE_COMPILE_CACHE_HH
@@ -49,6 +55,30 @@ struct CacheStats
     std::uint64_t evictions = 0;
     std::uint64_t diskHits = 0;
     std::uint64_t diskWrites = 0;
+};
+
+/**
+ * Offline summary of an on-disk artifact store (sharded and legacy
+ * flat files), produced by `CompileCache::scanDiskStore` — this is
+ * what `dcmbqc stats --cache-dir` reports when no daemon holds the
+ * store hot.
+ */
+struct DiskStoreStats
+{
+    /** Artifact files found (sharded + flat). */
+    std::uint64_t entries = 0;
+
+    /** Sum of their file sizes in bytes. */
+    std::uint64_t totalBytes = 0;
+
+    /** Entries whose envelope header failed to read/validate. */
+    std::uint64_t unreadable = 0;
+
+    /** Two-hex-digit shard directories present. */
+    int shardDirs = 0;
+
+    /** Entries still in the pre-shard flat layout. */
+    std::uint64_t flatEntries = 0;
 };
 
 /** Thread-safe LRU + disk store of serialized compile artifacts. */
@@ -91,8 +121,24 @@ class CompileCache
     /** Drop the memory tier (the disk store is left untouched). */
     void clear();
 
-    /** `<diskDir>/<16-hex-key>.dcmbqc`; empty when disk disabled. */
+    /**
+     * Sharded store path `<diskDir>/<2-hex>/<16-hex-key>.dcmbqc`;
+     * empty when disk disabled.
+     */
     std::string diskPath(std::uint64_t key) const;
+
+    /**
+     * Pre-shard flat path `<diskDir>/<16-hex-key>.dcmbqc`, accepted
+     * on lookup for stores written before sharding; empty when disk
+     * disabled.
+     */
+    std::string legacyDiskPath(std::uint64_t key) const;
+
+    /**
+     * Walk an on-disk store (no cache instance needed) and summarize
+     * it. A missing directory yields zero entries, not an error.
+     */
+    static DiskStoreStats scanDiskStore(const std::string &dir);
 
   private:
     using Entry = std::pair<std::uint64_t, std::vector<std::uint8_t>>;

@@ -213,6 +213,17 @@ BinaryReader::readF64Vector()
     return values;
 }
 
+std::vector<std::uint8_t>
+BinaryReader::readBytes(std::size_t size)
+{
+    if (!require(size))
+        return {};
+    std::vector<std::uint8_t> bytes(data_ + pos_,
+                                    data_ + pos_ + size);
+    pos_ += size;
+    return bytes;
+}
+
 std::uint32_t
 BinaryReader::readCount(std::size_t element_size)
 {

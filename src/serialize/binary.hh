@@ -98,6 +98,13 @@ class BinaryReader
     std::vector<double> readF64Vector();
 
     /**
+     * Read `size` raw bytes (no length prefix — the mirror of
+     * writeBytes for nested payloads). Returns an empty vector and
+     * latches an error when fewer bytes remain.
+     */
+    std::vector<std::uint8_t> readBytes(std::size_t size);
+
+    /**
      * Read a u32 element count and verify the remaining bytes can
      * hold that many elements of `element_size` bytes; returns 0 and
      * latches an error otherwise (guards against allocation bombs

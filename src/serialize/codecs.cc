@@ -25,6 +25,14 @@ statusFromCode(StatusCode code, std::string message)
         return Status::failedPrecondition(std::move(message));
       case StatusCode::Internal:
         return Status::internal(std::move(message));
+      case StatusCode::Cancelled:
+        return Status::cancelled(std::move(message));
+      case StatusCode::DeadlineExceeded:
+        return Status::deadlineExceeded(std::move(message));
+      case StatusCode::ResourceExhausted:
+        return Status::resourceExhausted(std::move(message));
+      case StatusCode::Unavailable:
+        return Status::unavailable(std::move(message));
     }
     return Status::internal(std::move(message));
 }
@@ -41,7 +49,7 @@ decodeStatus(BinaryReader &reader)
 {
     const std::uint8_t code = reader.readU8();
     std::string message = reader.readString();
-    if (code > static_cast<std::uint8_t>(StatusCode::Internal)) {
+    if (code > static_cast<std::uint8_t>(StatusCode::Unavailable)) {
         reader.fail("invalid status code tag " + std::to_string(code));
         return Status::okStatus();
     }
@@ -650,6 +658,8 @@ encodeCompileReport(BinaryWriter &writer, const CompileReport &report)
         flags |= 8;
     if (!report.executions.empty())
         flags |= 16;
+    if (report.pattern)
+        flags |= 32;
     writer.writeU8(flags);
     if (report.distributed)
         encodeDcResult(writer, *report.distributed);
@@ -682,6 +692,8 @@ encodeCompileReport(BinaryWriter &writer, const CompileReport &report)
         for (const ExecResult &execution : report.executions)
             encodeExecResult(writer, execution);
     }
+    if (report.pattern)
+        encodePattern(writer, *report.pattern);
 }
 
 CompileReport
@@ -693,9 +705,9 @@ decodeCompileReport(BinaryReader &reader)
     // Every legitimately encoded report carries exactly the flags
     // this version writes, and always one result payload; anything
     // else is a corrupted or handcrafted artifact. Bit 16
-    // (executions) is absent from pre-execution artifacts, which
-    // keeps them decodable byte for byte.
-    if ((flags & ~0x1f) != 0 || (flags & 3) == 0) {
+    // (executions) and bit 32 (retained pattern) are absent from
+    // older artifacts, which keeps them decodable byte for byte.
+    if ((flags & ~0x3f) != 0 || (flags & 3) == 0) {
         reader.fail("compile-report flags byte " +
                     std::to_string(flags) +
                     " is invalid (no result payload)");
@@ -737,6 +749,8 @@ decodeCompileReport(BinaryReader &reader)
         for (std::uint32_t i = 0; i < executions && reader.ok(); ++i)
             report.executions.push_back(decodeExecResult(reader));
     }
+    if (flags & 32)
+        report.pattern = decodePattern(reader);
     return report;
 }
 

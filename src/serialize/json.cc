@@ -504,6 +504,12 @@ toJson(const CompileReport &report)
     json.key("label").value(report.label);
     json.key("totalMillis").value(report.totalMillis);
     json.key("cacheHit").value(report.cacheHit);
+    if (report.pattern) {
+        json.key("retainedPattern").beginObject();
+        json.key("photons").value(report.pattern->numNodes());
+        json.key("wires").value(report.pattern->numWires());
+        json.endObject();
+    }
     if (report.cacheKey != 0) {
         char key[24];
         std::snprintf(key, sizeof(key), "%016llx",

@@ -1,0 +1,48 @@
+#include "service/admission.hh"
+
+#include <algorithm>
+#include <string>
+
+namespace dcmbqc
+{
+
+AdmissionGate::AdmissionGate(int limit) : limit_(std::max(1, limit)) {}
+
+Status
+AdmissionGate::tryAcquire()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inFlight_ >= limit_)
+        return Status::resourceExhausted(
+            "admission queue full: " + std::to_string(inFlight_) +
+            " of " + std::to_string(limit_) +
+            " slots in flight; retry later");
+    ++inFlight_;
+    return Status::okStatus();
+}
+
+void
+AdmissionGate::release()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inFlight_ > 0)
+        --inFlight_;
+    if (inFlight_ == 0)
+        idle_.notify_all();
+}
+
+void
+AdmissionGate::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+int
+AdmissionGate::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inFlight_;
+}
+
+} // namespace dcmbqc

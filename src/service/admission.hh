@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bounded admission control of the compile service. The daemon's
+ * worker pool is a fixed resource; the gate caps how many compile
+ * jobs may be queued-or-running at once so a burst of clients gets a
+ * fast `RESOURCE_EXHAUSTED` rejection instead of unbounded queue
+ * growth and blown deadlines — load shedding at the front door, in
+ * the spirit of admission control in serving systems.
+ */
+
+#ifndef DCMBQC_SERVICE_ADMISSION_HH
+#define DCMBQC_SERVICE_ADMISSION_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#include "api/status.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Counting gate over the admission slots of the worker pool. A slot
+ * is held from successful `tryAcquire()` until `release()`, covering
+ * both queue wait and execution.
+ */
+class AdmissionGate
+{
+  public:
+    /** A gate with `limit` slots (clamped to >= 1). */
+    explicit AdmissionGate(int limit);
+
+    AdmissionGate(const AdmissionGate &) = delete;
+    AdmissionGate &operator=(const AdmissionGate &) = delete;
+
+    /**
+     * Claim one slot without blocking. Returns OK on success and
+     * `ResourceExhausted` naming the configured depth when the gate
+     * is full — the caller turns that directly into the reply status.
+     */
+    Status tryAcquire();
+
+    /** Return a slot claimed by a successful tryAcquire(). */
+    void release();
+
+    /** Block until every claimed slot has been released. */
+    void waitIdle();
+
+    int inFlight() const;
+    int limit() const { return limit_; }
+
+  private:
+    const int limit_;
+    mutable std::mutex mutex_;
+    std::condition_variable idle_;
+    int inFlight_ = 0;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_SERVICE_ADMISSION_HH

@@ -1,0 +1,125 @@
+#include "service/metrics.hh"
+
+#include <algorithm>
+
+#include "common/stats.hh"
+
+namespace dcmbqc
+{
+
+void
+ServiceMetrics::recordCompileRequest(bool execute)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++compileRequests_;
+    if (execute)
+        ++executeRequests_;
+}
+
+void
+ServiceMetrics::recordStatsRequest()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++statsRequests_;
+}
+
+void
+ServiceMetrics::recordPing()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pings_;
+}
+
+void
+ServiceMetrics::recordOutcome(const Status &status, bool cache_hit,
+                              bool hot_served)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (status.code()) {
+      case StatusCode::Ok:
+        ++succeeded_;
+        break;
+      case StatusCode::Cancelled:
+        ++cancelled_;
+        break;
+      case StatusCode::DeadlineExceeded:
+        ++deadlineExceeded_;
+        break;
+      case StatusCode::ResourceExhausted:
+        ++rejectedQueueFull_;
+        break;
+      default:
+        ++failed_;
+        break;
+    }
+    if (cache_hit)
+        ++cacheHitReplies_;
+    if (hot_served)
+        ++hotReplies_;
+}
+
+void
+ServiceMetrics::recordLatency(double millis)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (latency_.size() < latencyReservoirCap)
+        latency_.push_back(millis);
+    else
+        latency_[latencyCount_ % latencyReservoirCap] = millis;
+    ++latencyCount_;
+    latencySum_ += millis;
+    latencyMax_ = std::max(latencyMax_, millis);
+}
+
+void
+ServiceMetrics::recordStages(const std::vector<StageReport> &stages)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const StageReport &stage : stages) {
+        ServiceStats::StageAggregate &aggregate = stages_[stage.pass];
+        if (aggregate.pass.empty())
+            aggregate.pass = stage.pass;
+        ++aggregate.count;
+        aggregate.totalMillis += stage.millis;
+        aggregate.maxMillis = std::max(aggregate.maxMillis,
+                                       stage.millis);
+    }
+}
+
+ServiceStats
+ServiceMetrics::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceStats stats;
+    stats.compileRequests = compileRequests_;
+    stats.executeRequests = executeRequests_;
+    stats.statsRequests = statsRequests_;
+    stats.pings = pings_;
+    stats.requestsTotal = compileRequests_ + statsRequests_ + pings_;
+    stats.succeeded = succeeded_;
+    stats.failed = failed_;
+    stats.rejectedQueueFull = rejectedQueueFull_;
+    stats.deadlineExceeded = deadlineExceeded_;
+    stats.cancelled = cancelled_;
+    stats.hotReplies = hotReplies_;
+    stats.cacheHitReplies = cacheHitReplies_;
+    stats.latencySamples = latencyCount_;
+    if (!latency_.empty()) {
+        stats.p50Millis = percentile(latency_, 50.0);
+        stats.p99Millis = percentile(latency_, 99.0);
+        stats.maxMillis = latencyMax_;
+        stats.meanMillis =
+            latencySum_ / static_cast<double>(latencyCount_);
+    }
+    stats.stages.reserve(stages_.size());
+    for (const auto &entry : stages_)
+        stats.stages.push_back(entry.second);
+    std::sort(stats.stages.begin(), stats.stages.end(),
+              [](const ServiceStats::StageAggregate &a,
+                 const ServiceStats::StageAggregate &b) {
+                  return a.totalMillis > b.totalMillis;
+              });
+    return stats;
+}
+
+} // namespace dcmbqc

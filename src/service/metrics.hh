@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Thread-safe serving metrics of the `dcmbqcd` compile service: the
+ * mutable accumulator behind the `stats` RPC. Sessions and workers
+ * record events through narrow methods; `snapshot()` folds the
+ * counters, a bounded latency reservoir, and per-stage timing
+ * aggregates into one immutable `ServiceStats` message.
+ */
+
+#ifndef DCMBQC_SERVICE_METRICS_HH
+#define DCMBQC_SERVICE_METRICS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/pass.hh"
+#include "service/protocol.hh"
+
+namespace dcmbqc
+{
+
+/** Mutex-guarded accumulator of daemon-wide serving statistics. */
+class ServiceMetrics
+{
+  public:
+    /** One compile job arrived (`execute` = it carries backends). */
+    void recordCompileRequest(bool execute);
+
+    void recordStatsRequest();
+    void recordPing();
+
+    /**
+     * Record a compile job's outcome. The status picks the outcome
+     * counter (OK / cancelled / deadline-exceeded / queue-full /
+     * failed); the flags feed the cache-serving counters.
+     */
+    void recordOutcome(const Status &status, bool cache_hit,
+                       bool hot_served);
+
+    /** One request-receipt-to-reply-ready latency sample. */
+    void recordLatency(double millis);
+
+    /**
+     * Fold one compilation's stage reports into the per-pass timing
+     * aggregates. Callers pass only *executed* pipelines (cache-hit
+     * replays carry the original run's timings and would double
+     * count).
+     */
+    void recordStages(const std::vector<StageReport> &stages);
+
+    /**
+     * Immutable snapshot of everything recorded so far. Counters and
+     * latency quantiles are filled here; the caller owns the gauges
+     * (queue depth, workers, draining, uptime) and the cache-tier
+     * counters, which live outside this accumulator.
+     */
+    ServiceStats snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+
+    std::uint64_t compileRequests_ = 0;
+    std::uint64_t executeRequests_ = 0;
+    std::uint64_t statsRequests_ = 0;
+    std::uint64_t pings_ = 0;
+
+    std::uint64_t succeeded_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t rejectedQueueFull_ = 0;
+    std::uint64_t deadlineExceeded_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t hotReplies_ = 0;
+    std::uint64_t cacheHitReplies_ = 0;
+
+    /**
+     * Bounded latency reservoir: the first `latencyReservoirCap`
+     * samples verbatim, then deterministic slot replacement (sample
+     * index modulo capacity), so quantiles stay meaningful on a
+     * long-running daemon at fixed memory.
+     */
+    static constexpr std::size_t latencyReservoirCap = 8192;
+    std::vector<double> latency_;
+    std::uint64_t latencyCount_ = 0;
+    double latencyMax_ = 0.0;
+    double latencySum_ = 0.0;
+
+    std::unordered_map<std::string, ServiceStats::StageAggregate>
+        stages_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_SERVICE_METRICS_HH

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Wire protocol of the `dcmbqcd` compile service: a length-prefixed,
+ * checksummed frame stream over a Unix-domain socket, carrying
+ * request/reply messages whose payloads reuse the DCMB binary codecs
+ * (serialize/codecs.hh) for every IR type they embed.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *   offset  size  field
+ *        0     4  magic "DSVC"
+ *        4     2  protocol version (u16, currently 1)
+ *        6     2  frame type tag (u16)
+ *        8     8  payload size in bytes (u64)
+ *       16     n  payload (type-specific codec below)
+ *     16+n     8  FNV-1a 64 checksum of the payload
+ *
+ * `decodeFrame` / `readFrame` reject bad magic, version skew,
+ * truncation, oversized payloads, and checksum mismatches through
+ * the Status channel, so a corrupt or hostile byte stream never
+ * reaches a message codec. The conversation is strictly
+ * request/reply per connection; the only server-initiated frames are
+ * `Progress` events streamed *before* the final `CompileReply` of a
+ * compile the client asked to watch.
+ */
+
+#ifndef DCMBQC_SERVICE_PROTOCOL_HH
+#define DCMBQC_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/request.hh"
+#include "api/status.hh"
+#include "cache/compile_cache.hh"
+#include "core/pipeline.hh"
+#include "exec/options.hh"
+
+namespace dcmbqc
+{
+
+/** Current service protocol version. */
+inline constexpr std::uint16_t serviceProtocolVersion = 1;
+
+/** Hard ceiling on a frame payload (guards allocation bombs). */
+inline constexpr std::size_t serviceMaxFramePayload =
+    256ull * 1024 * 1024;
+
+/** Frame type tags of the service protocol. */
+enum class FrameType : std::uint16_t
+{
+    /** Client -> server: one ServiceJob (compile [+ execute]). */
+    CompileRequest = 1,
+
+    /** Server -> client: the job's final CompileReply. */
+    CompileReply = 2,
+
+    /** Server -> client: one streamed pass-progress event. */
+    Progress = 3,
+
+    /** Client -> server: stats RPC (empty payload). */
+    StatsRequest = 4,
+
+    /** Server -> client: serialized ServiceStats. */
+    StatsReply = 5,
+
+    /** Client -> server: liveness probe (empty payload). */
+    Ping = 6,
+
+    /** Server -> client: probe reply (empty payload). */
+    Pong = 7,
+
+    /** Client -> server: graceful shutdown request. */
+    Drain = 8,
+
+    /** Server -> client: drain acknowledged (empty payload). */
+    DrainReply = 9,
+
+    /**
+     * Client -> server: content-addressed hot-cache probe. The
+     * client computes the job's cache key locally and ships only
+     * (key, verifier) — 16 bytes instead of the whole request IR.
+     * A hit comes back as a normal `CompileReply` carrying the raw
+     * cached artifact; a miss as `CacheProbeMiss`, after which the
+     * client follows up with a full `CompileRequest`.
+     */
+    CacheProbe = 10,
+
+    /** Server -> client: probed key is not hot (empty payload). */
+    CacheProbeMiss = 11,
+};
+
+/** Stable display name of a frame type ("compile-request", ...). */
+const char *frameTypeName(FrameType type);
+
+/** One decoded frame: its type tag plus the validated payload. */
+struct Frame
+{
+    FrameType type = FrameType::Ping;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Wrap a payload into a checksummed frame buffer. */
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, const std::vector<std::uint8_t> &payload);
+
+/**
+ * Validate and decode one whole frame from a buffer. `size` must be
+ * exactly the frame length (the streamed variant below handles
+ * partial reads).
+ */
+Expected<Frame>
+decodeFrame(const std::uint8_t *data, std::size_t size,
+            std::size_t max_payload = serviceMaxFramePayload);
+
+Expected<Frame>
+decodeFrame(const std::vector<std::uint8_t> &bytes,
+            std::size_t max_payload = serviceMaxFramePayload);
+
+/**
+ * Write one frame to a connected socket, looping over partial
+ * writes. SIGPIPE is suppressed (MSG_NOSIGNAL); a peer that hung up
+ * surfaces as an `Unavailable` status instead of killing the
+ * process.
+ */
+Status writeFrame(int fd, FrameType type,
+                  const std::vector<std::uint8_t> &payload);
+
+/**
+ * Read one frame from a connected socket (blocking), validating the
+ * header before the payload is sized, and the checksum after. A
+ * clean EOF before any header byte comes back as `Unavailable`
+ * ("peer closed"); everything else malformed is `InvalidArgument`.
+ */
+Expected<Frame>
+readFrame(int fd, std::size_t max_payload = serviceMaxFramePayload);
+
+// --- Messages --------------------------------------------------------------
+
+/**
+ * One unit of service work: a compile request plus the config to
+ * compile it under and, optionally, execution backends to run the
+ * compiled schedule on. This is the payload of a `CompileRequest`
+ * frame.
+ */
+struct ServiceJob
+{
+    /**
+     * The request payload (entry point + label). Optional only so
+     * the struct is default-constructible for decoding; a valid job
+     * always carries one.
+     */
+    std::optional<CompileRequest> request;
+
+    /** Full compiler configuration, including both pass seeds. */
+    DcMbqcConfig config;
+
+    /** Run the monolithic baseline pipeline instead of Figure 2. */
+    bool baseline = false;
+
+    /**
+     * Per-request deadline in milliseconds measured from server
+     * receipt (covers queue wait + every pass); 0 defers to the
+     * daemon's configured default (which may be "none").
+     */
+    std::uint32_t deadlineMillis = 0;
+
+    /** Stream per-pass Progress frames before the final reply. */
+    bool streamProgress = false;
+
+    /** Backends to execute on after compiling; empty = compile only. */
+    std::vector<ExecOptions> backends;
+};
+
+std::vector<std::uint8_t> encodeServiceJob(const ServiceJob &job);
+Expected<ServiceJob>
+decodeServiceJob(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Hot-cache probe (`CacheProbe` frame payload): the content address
+ * of a compile-only job as computed client-side by `computeCacheKey`
+ * over the same library the daemon links.
+ */
+struct CacheProbe
+{
+    /** Content address of the (request, config, baseline) triple. */
+    std::uint64_t key = 0;
+
+    /** Artifact verifier hash the client expects under that key. */
+    std::uint64_t verifier = 0;
+};
+
+std::vector<std::uint8_t> encodeCacheProbe(const CacheProbe &probe);
+Expected<CacheProbe>
+decodeCacheProbe(const std::vector<std::uint8_t> &bytes);
+
+/** Final reply of one service job (`CompileReply` frame payload). */
+struct CompileReply
+{
+    /** Job outcome; the artifact below is present only when OK. */
+    Status status;
+
+    /** The compile was served from the shared cache. */
+    bool cacheHit = false;
+
+    /**
+     * The reply bytes were shipped straight from the hot cache
+     * without dispatching a worker or decoding the artifact
+     * server-side (the zero-lowering fast path).
+     */
+    bool hotServed = false;
+
+    /** Content address of the (request, config, seed) triple. */
+    std::uint64_t cacheKey = 0;
+
+    /** Serialized CompileReport artifact (DCMB envelope). */
+    std::vector<std::uint8_t> reportArtifact;
+};
+
+std::vector<std::uint8_t> encodeCompileReply(const CompileReply &reply);
+Expected<CompileReply>
+decodeCompileReply(const std::vector<std::uint8_t> &bytes);
+
+/** One streamed pass-boundary event (`Progress` frame payload). */
+struct ProgressEvent
+{
+    /** Request label the event belongs to. */
+    std::string label;
+
+    /** Pass name ("Partition", "Execute[statevector]"...). */
+    std::string pass;
+
+    /** False at pass begin, true at pass end. */
+    bool finished = false;
+
+    /** Pass wall-clock; meaningful only when `finished`. */
+    double millis = 0.0;
+
+    /** Pass note; meaningful only when `finished`. */
+    std::string note;
+};
+
+std::vector<std::uint8_t>
+encodeProgressEvent(const ProgressEvent &event);
+Expected<ProgressEvent>
+decodeProgressEvent(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Daemon-wide serving statistics (`StatsReply` frame payload): the
+ * cache-hit SLO view of the service — admission counters, latency
+ * quantiles, shared-cache counters, and per-stage timing aggregates
+ * across every request served since start.
+ */
+struct ServiceStats
+{
+    // Request counters ------------------------------------------------------
+    std::uint64_t requestsTotal = 0;
+    std::uint64_t compileRequests = 0;
+    std::uint64_t executeRequests = 0;
+    std::uint64_t statsRequests = 0;
+    std::uint64_t pings = 0;
+
+    // Outcome counters ------------------------------------------------------
+    std::uint64_t succeeded = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t rejectedQueueFull = 0;
+    std::uint64_t deadlineExceeded = 0;
+    std::uint64_t cancelled = 0;
+
+    /** Replies served raw from the hot cache (no worker dispatch). */
+    std::uint64_t hotReplies = 0;
+
+    /** Cache hits across all compile paths (hot + worker replays). */
+    std::uint64_t cacheHitReplies = 0;
+
+    // Gauges ----------------------------------------------------------------
+    int inFlight = 0;
+    int queueLimit = 0;
+    int workers = 0;
+    bool draining = false;
+    std::uint64_t uptimeMillis = 0;
+
+    // Latency (request receipt -> reply ready), milliseconds ----------------
+    std::uint64_t latencySamples = 0;
+    double p50Millis = 0.0;
+    double p99Millis = 0.0;
+    double maxMillis = 0.0;
+    double meanMillis = 0.0;
+
+    // Shared compile cache --------------------------------------------------
+    CacheStats cache;
+
+    /** Entries resident in the memory tier. */
+    std::uint64_t cacheEntries = 0;
+
+    /** Per-stage timing aggregates across all pipeline runs. */
+    struct StageAggregate
+    {
+        std::string pass;
+        std::uint64_t count = 0;
+        double totalMillis = 0.0;
+        double maxMillis = 0.0;
+    };
+    std::vector<StageAggregate> stages;
+};
+
+std::vector<std::uint8_t> encodeServiceStats(const ServiceStats &stats);
+Expected<ServiceStats>
+decodeServiceStats(const std::vector<std::uint8_t> &bytes);
+
+/** JSON rendering of a stats snapshot (CLI / dashboards). */
+std::string toJson(const ServiceStats &stats);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_SERVICE_PROTOCOL_HH

@@ -9,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "api/api.hh"
+#include "api/cancellation.hh"
 #include "circuit/generators.hh"
 #include "core/lsp_builder.hh"
 #include "mbqc/dependency.hh"
@@ -374,6 +378,55 @@ TEST(StatusApi, ExpectedHoldsValueOrStatus)
     Expected<int> bad(Status::internal("boom"));
     ASSERT_FALSE(bad.ok());
     EXPECT_EQ(bad.status().code(), StatusCode::Internal);
+}
+
+// --- Cancellation and deadlines -------------------------------------------
+
+TEST(CancellationApi, PreCancelledRequestRunsNoPasses)
+{
+    CancellationToken token;
+    token.cancel();
+
+    CountingObserver observer;
+    CompilerDriver driver(CompileOptions().numQpus(2).gridSize(7));
+    driver.addObserver(&observer);
+
+    CompileRequest request =
+        CompileRequest::fromCircuit(makeQft(5), "doomed");
+    request.withCancellation(&token);
+    auto report = driver.compile(request);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::Cancelled);
+    EXPECT_EQ(observer.ends, 0);
+}
+
+TEST(CancellationApi, ExpiredDeadlineAbortsAtPassBoundary)
+{
+    CancellationToken token;
+    token.setDeadlineAfterMillis(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    CompilerDriver driver(CompileOptions().numQpus(2).gridSize(7));
+    CompileRequest request =
+        CompileRequest::fromCircuit(makeQft(5), "late");
+    request.withCancellation(&token);
+    auto report = driver.compile(request);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::DeadlineExceeded);
+}
+
+TEST(CancellationApi, DisarmedDeadlineCompiles)
+{
+    CancellationToken token;
+    token.setDeadlineAfterMillis(1);
+    token.setDeadlineAfterMillis(0); // 0 disarms
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(token.check().ok());
+
+    CompilerDriver driver(CompileOptions().numQpus(2).gridSize(7));
+    CompileRequest request = CompileRequest::fromCircuit(makeQft(5));
+    request.withCancellation(&token);
+    EXPECT_TRUE(driver.compile(request).ok());
 }
 
 } // namespace

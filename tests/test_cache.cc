@@ -428,5 +428,144 @@ TEST(CompileCacheApi, BatchFailuresStayIsolatedWithCacheOn)
     EXPECT_TRUE(reports[2]->cacheHit);
 }
 
+// --- Sharded on-disk store ------------------------------------------------
+
+TEST(CompileCacheApi, DiskStoreIsShardedAndScannable)
+{
+    const std::string dir =
+        ::testing::TempDir() + "dcmbqc_cache_shard";
+    std::filesystem::remove_all(dir); // stale entries from prior runs
+    CacheConfig config;
+    config.diskDir = dir;
+    auto cache = std::make_shared<CompileCache>(config);
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(4).cache(cache));
+    auto report =
+        driver.compile(CompileRequest::fromCircuit(makeQft(5)));
+    ASSERT_TRUE(report.ok());
+
+    // The entry lands under a two-hex-digit shard directory.
+    const std::string path = cache->diskPath(report->cacheKey);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    const std::string shard =
+        std::filesystem::path(path).parent_path().filename();
+    EXPECT_EQ(shard.size(), 2u);
+    EXPECT_NE(shard, std::filesystem::path(dir).filename());
+
+    DiskStoreStats scan = CompileCache::scanDiskStore(dir);
+    EXPECT_EQ(scan.entries, 1u);
+    EXPECT_EQ(scan.shardDirs, 1u);
+    EXPECT_EQ(scan.flatEntries, 0u);
+    EXPECT_EQ(scan.unreadable, 0u);
+    EXPECT_GT(scan.totalBytes, 0u);
+
+    // A garbage .dcmbqc file is counted and flagged unreadable.
+    const std::string garbage = dir + "/" + shard + "/junk.dcmbqc";
+    std::FILE *file = std::fopen(garbage.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fputs("not an artifact", file);
+    std::fclose(file);
+    scan = CompileCache::scanDiskStore(dir);
+    EXPECT_EQ(scan.entries, 2u);
+    EXPECT_EQ(scan.unreadable, 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CompileCacheApi, LegacyFlatDiskEntryStillHits)
+{
+    const std::string dir =
+        ::testing::TempDir() + "dcmbqc_cache_flat";
+    std::filesystem::remove_all(dir); // stale entries from prior runs
+    CacheConfig config;
+    config.diskDir = dir;
+
+    const auto request = CompileRequest::fromCircuit(makeQft(5));
+    std::uint64_t key = 0;
+    {
+        auto cache = std::make_shared<CompileCache>(config);
+        const CompilerDriver driver(CompileOptions()
+                                        .numQpus(2)
+                                        .gridSize(7)
+                                        .seed(6)
+                                        .cache(cache));
+        auto report = driver.compile(request);
+        ASSERT_TRUE(report.ok());
+        key = report->cacheKey;
+        // Demote the entry to the pre-shard flat layout.
+        std::filesystem::rename(cache->diskPath(key),
+                                cache->legacyDiskPath(key));
+    }
+
+    DiskStoreStats scan = CompileCache::scanDiskStore(dir);
+    EXPECT_EQ(scan.entries, 1u);
+    EXPECT_EQ(scan.flatEntries, 1u);
+
+    // A fresh instance still hits it from the legacy path.
+    auto cache = std::make_shared<CompileCache>(config);
+    PassCounter counter;
+    CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(6).cache(cache));
+    driver.addObserver(&counter);
+    auto report = driver.compile(request);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->cacheHit);
+    EXPECT_EQ(counter.passes, 0);
+    EXPECT_EQ(cache->stats().diskHits, 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+// --- Artifact contents ----------------------------------------------------
+
+TEST(CompileCacheApi, HitRetainsLoweredPattern)
+{
+    auto cache = std::make_shared<CompileCache>();
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).cache(cache));
+    const auto request =
+        CompileRequest::fromCircuit(makeQft(6), "pattern");
+
+    auto miss = driver.compile(request);
+    ASSERT_TRUE(miss.ok());
+    ASSERT_TRUE(miss->pattern.has_value());
+
+    // The replayed artifact still carries the lowered pattern, so a
+    // warm hit needs zero re-lowering before execution.
+    auto hit = driver.compile(request);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_TRUE(hit->cacheHit);
+    ASSERT_TRUE(hit->pattern.has_value());
+    EXPECT_EQ(hit->pattern->graph().numNodes(),
+              miss->pattern->graph().numNodes());
+}
+
+TEST(CompileCacheApi, CompileAndExecuteHitMatchesMiss)
+{
+    auto cache = std::make_shared<CompileCache>();
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).cache(cache));
+    const auto request =
+        CompileRequest::fromCircuit(makeQft(4), "exec");
+    ExecOptions exec;
+    exec.backend = "statevector";
+    exec.shots = 64;
+    exec.seed = 9;
+
+    auto miss = driver.compileAndExecute(request, exec);
+    ASSERT_TRUE(miss.ok()) << miss.status().toString();
+    EXPECT_FALSE(miss->cacheHit);
+    ASSERT_EQ(miss->executions.size(), 1u);
+
+    auto hit = driver.compileAndExecute(request, exec);
+    ASSERT_TRUE(hit.ok()) << hit.status().toString();
+    EXPECT_TRUE(hit->cacheHit);
+    ASSERT_EQ(hit->executions.size(), 1u);
+    // Same compiled program + same seed = bit-identical sampling,
+    // whether the schedule came from the pipeline or the cache.
+    EXPECT_EQ(miss->executions[0].counts, hit->executions[0].counts);
+    expectSameDistributedResult(miss->result(), hit->result());
+}
+
 } // namespace
 } // namespace dcmbqc

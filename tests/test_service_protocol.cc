@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Tests of the dcmbqcd wire protocol (service/protocol.hh): frame
+ * envelope round trips and rejection of corrupt/truncated/oversized
+ * frames through the Status channel, the message codecs (ServiceJob
+ * for all three compile entry points, CompileReply, CacheProbe,
+ * ProgressEvent, ServiceStats), and streamed framing over a real
+ * socket pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include "circuit/generators.hh"
+#include "mbqc/dependency.hh"
+#include "mbqc/pattern_builder.hh"
+#include "service/protocol.hh"
+
+namespace dcmbqc
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+somePayload()
+{
+    return {1, 2, 3, 4, 5, 6, 7, 8, 9};
+}
+
+ServiceJob
+graphJob()
+{
+    const Circuit circuit = makeQft(5);
+    Pattern pattern = buildPattern(circuit);
+    Digraph deps = realTimeDependencyGraph(pattern);
+    ServiceJob job;
+    job.request = CompileRequest::fromGraph(pattern.graph(),
+                                            std::move(deps), "qft-5");
+    job.config.numQpus = 2;
+    job.config.grid.size = 7;
+    job.baseline = false;
+    job.deadlineMillis = 1500;
+    job.streamProgress = true;
+    return job;
+}
+
+TEST(ServiceFrame, RoundTripsEveryType)
+{
+    for (FrameType type :
+         {FrameType::CompileRequest, FrameType::CompileReply,
+          FrameType::Progress, FrameType::StatsRequest,
+          FrameType::StatsReply, FrameType::Ping, FrameType::Pong,
+          FrameType::Drain, FrameType::DrainReply,
+          FrameType::CacheProbe, FrameType::CacheProbeMiss}) {
+        const auto bytes = encodeFrame(type, somePayload());
+        auto frame = decodeFrame(bytes);
+        ASSERT_TRUE(frame.ok()) << frame.status().toString();
+        EXPECT_EQ(frame->type, type);
+        EXPECT_EQ(frame->payload, somePayload());
+        EXPECT_STRNE(frameTypeName(type), "unknown");
+    }
+}
+
+TEST(ServiceFrame, RoundTripsEmptyPayload)
+{
+    const auto bytes = encodeFrame(FrameType::Ping, {});
+    auto frame = decodeFrame(bytes);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(ServiceFrame, RejectsBadMagic)
+{
+    auto bytes = encodeFrame(FrameType::Ping, somePayload());
+    bytes[0] = 'X';
+    auto frame = decodeFrame(bytes);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(frame.status().message().find("magic"),
+              std::string::npos);
+}
+
+TEST(ServiceFrame, RejectsVersionSkew)
+{
+    auto bytes = encodeFrame(FrameType::Ping, somePayload());
+    bytes[4] = static_cast<std::uint8_t>(serviceProtocolVersion + 1);
+    auto frame = decodeFrame(bytes);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_NE(frame.status().message().find("version"),
+              std::string::npos);
+}
+
+TEST(ServiceFrame, RejectsUnknownType)
+{
+    auto bytes = encodeFrame(FrameType::Ping, somePayload());
+    bytes[6] = 0xEE;
+    bytes[7] = 0xEE;
+    auto frame = decodeFrame(bytes);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_NE(frame.status().message().find("type"),
+              std::string::npos);
+}
+
+TEST(ServiceFrame, RejectsTruncatedBuffer)
+{
+    auto bytes = encodeFrame(FrameType::Ping, somePayload());
+    bytes.resize(bytes.size() - 3);
+    auto frame = decodeFrame(bytes);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(ServiceFrame, RejectsTooSmallBuffer)
+{
+    const std::vector<std::uint8_t> bytes = {'D', 'S', 'V', 'C', 1};
+    auto frame = decodeFrame(bytes);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_NE(frame.status().message().find("truncated"),
+              std::string::npos);
+}
+
+TEST(ServiceFrame, RejectsOversizedPayloadBeforeAllocation)
+{
+    auto bytes = encodeFrame(FrameType::Ping, somePayload());
+    auto frame = decodeFrame(bytes, /*max_payload=*/4);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_NE(frame.status().message().find("exceeds"),
+              std::string::npos);
+}
+
+TEST(ServiceFrame, RejectsChecksumMismatch)
+{
+    auto bytes = encodeFrame(FrameType::Ping, somePayload());
+    // Flip one payload bit; the trailing FNV no longer matches.
+    bytes[16] ^= 0x01;
+    auto frame = decodeFrame(bytes);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_NE(frame.status().message().find("checksum"),
+              std::string::npos);
+}
+
+TEST(ServiceFrame, SocketRoundTrip)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const Status sent =
+        writeFrame(fds[0], FrameType::CompileReply, somePayload());
+    ASSERT_TRUE(sent.ok()) << sent.toString();
+    auto frame = readFrame(fds[1]);
+    ASSERT_TRUE(frame.ok()) << frame.status().toString();
+    EXPECT_EQ(frame->type, FrameType::CompileReply);
+    EXPECT_EQ(frame->payload, somePayload());
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(ServiceFrame, SocketCleanCloseIsUnavailable)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ::close(fds[0]);
+    auto frame = readFrame(fds[1]);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::Unavailable);
+    ::close(fds[1]);
+}
+
+TEST(ServiceFrame, SocketMidFrameHangupIsInvalidArgument)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const auto bytes = encodeFrame(FrameType::Ping, somePayload());
+    // Ship only half the frame, then hang up.
+    ASSERT_GT(::send(fds[0], bytes.data(), bytes.size() / 2,
+                     MSG_NOSIGNAL),
+              0);
+    ::close(fds[0]);
+    auto frame = readFrame(fds[1]);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::InvalidArgument);
+    ::close(fds[1]);
+}
+
+TEST(ServiceFrame, SocketOversizedPayloadRejectedBeforeRead)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const auto bytes = encodeFrame(FrameType::Ping, somePayload());
+    ASSERT_GT(::send(fds[0], bytes.data(), bytes.size(),
+                     MSG_NOSIGNAL),
+              0);
+    auto frame = readFrame(fds[1], /*max_payload=*/4);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_NE(frame.status().message().find("exceeds"),
+              std::string::npos);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+// --- ServiceJob ------------------------------------------------------------
+
+TEST(ServiceJobCodec, RoundTripsGraphEntry)
+{
+    const ServiceJob job = graphJob();
+    const auto bytes = encodeServiceJob(job);
+    auto decoded = decodeServiceJob(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    ASSERT_TRUE(decoded->request.has_value());
+    EXPECT_EQ(decoded->request->entryPoint(),
+              CompileRequest::EntryPoint::Graph);
+    EXPECT_EQ(decoded->request->label(), "qft-5");
+    EXPECT_EQ(decoded->deadlineMillis, 1500u);
+    EXPECT_TRUE(decoded->streamProgress);
+    EXPECT_FALSE(decoded->baseline);
+    // Re-encoding the decoded job reproduces the exact bytes.
+    EXPECT_EQ(encodeServiceJob(*decoded), bytes);
+}
+
+TEST(ServiceJobCodec, RoundTripsCircuitEntryWithBackends)
+{
+    ServiceJob job;
+    job.request =
+        CompileRequest::fromCircuit(makeQft(4), "qft-4-exec");
+    job.config.numQpus = 2;
+    job.config.grid.size = 7;
+    ExecOptions exec;
+    exec.backend = "stabilizer";
+    exec.shots = 64;
+    exec.seed = 77;
+    exec.numThreads = 2;
+    exec.applyByproducts = false;
+    exec.lossModel.attenuationDbPerKm = 0.3;
+    job.backends = {ExecOptions{}, exec};
+
+    const auto bytes = encodeServiceJob(job);
+    auto decoded = decodeServiceJob(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_EQ(decoded->request->entryPoint(),
+              CompileRequest::EntryPoint::Circuit);
+    ASSERT_EQ(decoded->backends.size(), 2u);
+    EXPECT_EQ(decoded->backends[0].backend, "statevector");
+    EXPECT_EQ(decoded->backends[1].backend, "stabilizer");
+    EXPECT_EQ(decoded->backends[1].shots, 64);
+    EXPECT_EQ(decoded->backends[1].seed, 77);
+    EXPECT_FALSE(decoded->backends[1].applyByproducts);
+    EXPECT_DOUBLE_EQ(decoded->backends[1].lossModel.attenuationDbPerKm,
+                     0.3);
+    EXPECT_EQ(encodeServiceJob(*decoded), bytes);
+}
+
+TEST(ServiceJobCodec, RoundTripsPatternEntryAndBaseline)
+{
+    ServiceJob job;
+    job.request = CompileRequest::fromPattern(
+        buildPattern(makeQft(4)), "qft-4-pattern");
+    job.config.grid.size = 7;
+    job.baseline = true;
+
+    const auto bytes = encodeServiceJob(job);
+    auto decoded = decodeServiceJob(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_EQ(decoded->request->entryPoint(),
+              CompileRequest::EntryPoint::Pattern);
+    EXPECT_TRUE(decoded->baseline);
+    EXPECT_EQ(encodeServiceJob(*decoded), bytes);
+}
+
+TEST(ServiceJobCodec, RejectsBadEntryTagAndTrailingBytes)
+{
+    auto bytes = encodeServiceJob(graphJob());
+    auto bad_tag = bytes;
+    bad_tag[0] = 9;
+    EXPECT_FALSE(decodeServiceJob(bad_tag).ok());
+
+    auto trailing = bytes;
+    trailing.push_back(0);
+    auto decoded = decodeServiceJob(trailing);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_NE(decoded.status().message().find("trailing"),
+              std::string::npos);
+
+    auto truncated = bytes;
+    truncated.resize(truncated.size() / 2);
+    EXPECT_FALSE(decodeServiceJob(truncated).ok());
+}
+
+// --- CacheProbe ------------------------------------------------------------
+
+TEST(CacheProbeCodec, RoundTrips)
+{
+    CacheProbe probe;
+    probe.key = 0xDEADBEEFCAFEF00Dull;
+    probe.verifier = 0x0123456789ABCDEFull;
+    const auto bytes = encodeCacheProbe(probe);
+    EXPECT_EQ(bytes.size(), 16u);
+    auto decoded = decodeCacheProbe(bytes);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->key, probe.key);
+    EXPECT_EQ(decoded->verifier, probe.verifier);
+}
+
+TEST(CacheProbeCodec, RejectsWrongSize)
+{
+    auto bytes = encodeCacheProbe(CacheProbe{1, 2});
+    bytes.push_back(0);
+    EXPECT_FALSE(decodeCacheProbe(bytes).ok());
+    bytes.resize(7);
+    EXPECT_FALSE(decodeCacheProbe(bytes).ok());
+}
+
+// --- CompileReply ----------------------------------------------------------
+
+TEST(CompileReplyCodec, RoundTripsSuccess)
+{
+    CompileReply reply;
+    reply.status = Status::okStatus();
+    reply.cacheHit = true;
+    reply.hotServed = true;
+    reply.cacheKey = 42;
+    reply.reportArtifact = somePayload();
+    const auto bytes = encodeCompileReply(reply);
+    auto decoded = decodeCompileReply(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_TRUE(decoded->status.ok());
+    EXPECT_TRUE(decoded->cacheHit);
+    EXPECT_TRUE(decoded->hotServed);
+    EXPECT_EQ(decoded->cacheKey, 42u);
+    EXPECT_EQ(decoded->reportArtifact, somePayload());
+}
+
+TEST(CompileReplyCodec, RoundTripsEveryStatusCode)
+{
+    const Status statuses[] = {
+        Status::invalidArgument("a"),  Status::invalidConfig("b"),
+        Status::failedPrecondition("c"), Status::internal("d"),
+        Status::cancelled("e"),        Status::deadlineExceeded("f"),
+        Status::resourceExhausted("g"), Status::unavailable("h"),
+    };
+    for (const Status &status : statuses) {
+        CompileReply reply;
+        reply.status = status;
+        auto decoded = decodeCompileReply(encodeCompileReply(reply));
+        ASSERT_TRUE(decoded.ok());
+        EXPECT_EQ(decoded->status.code(), status.code());
+        EXPECT_EQ(decoded->status.message(), status.message());
+    }
+}
+
+TEST(CompileReplyCodec, RejectsBadFlagsAndArtifactOverrun)
+{
+    CompileReply reply;
+    reply.status = Status::okStatus();
+    reply.reportArtifact = somePayload();
+    auto bytes = encodeCompileReply(reply);
+
+    // Flags byte sits right after the status (u8 code + u32 len).
+    const std::size_t flags_at = 1 + 4;
+    auto bad_flags = bytes;
+    ASSERT_EQ(bad_flags[flags_at], 0u);
+    bad_flags[flags_at] = 0xF0;
+    EXPECT_FALSE(decodeCompileReply(bad_flags).ok());
+
+    // Artifact length promising more bytes than the payload holds.
+    auto overrun = bytes;
+    overrun[flags_at + 1 + 8] = 0xFF;
+    EXPECT_FALSE(decodeCompileReply(overrun).ok());
+}
+
+// --- ProgressEvent ---------------------------------------------------------
+
+TEST(ProgressEventCodec, RoundTrips)
+{
+    ProgressEvent event;
+    event.label = "qft-5";
+    event.pass = "Partition";
+    event.finished = true;
+    event.millis = 12.5;
+    event.note = "k=2";
+    auto decoded = decodeProgressEvent(encodeProgressEvent(event));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->label, event.label);
+    EXPECT_EQ(decoded->pass, event.pass);
+    EXPECT_TRUE(decoded->finished);
+    EXPECT_DOUBLE_EQ(decoded->millis, 12.5);
+    EXPECT_EQ(decoded->note, "k=2");
+}
+
+// --- ServiceStats ----------------------------------------------------------
+
+TEST(ServiceStatsCodec, RoundTripsAllFields)
+{
+    ServiceStats stats;
+    stats.requestsTotal = 10;
+    stats.compileRequests = 6;
+    stats.executeRequests = 2;
+    stats.statsRequests = 3;
+    stats.pings = 1;
+    stats.succeeded = 5;
+    stats.failed = 1;
+    stats.rejectedQueueFull = 2;
+    stats.deadlineExceeded = 1;
+    stats.cancelled = 1;
+    stats.hotReplies = 3;
+    stats.cacheHitReplies = 4;
+    stats.inFlight = 2;
+    stats.queueLimit = 16;
+    stats.workers = 4;
+    stats.draining = true;
+    stats.uptimeMillis = 123456;
+    stats.latencySamples = 9;
+    stats.p50Millis = 1.5;
+    stats.p99Millis = 20.25;
+    stats.maxMillis = 21.0;
+    stats.meanMillis = 3.75;
+    stats.cache.hits = 7;
+    stats.cache.misses = 2;
+    stats.cache.evictions = 1;
+    stats.cache.diskHits = 3;
+    stats.cache.diskWrites = 4;
+    stats.cacheEntries = 5;
+    ServiceStats::StageAggregate stage;
+    stage.pass = "ScheduleList";
+    stage.count = 6;
+    stage.totalMillis = 42.0;
+    stage.maxMillis = 9.5;
+    stats.stages.push_back(stage);
+
+    auto decoded = decodeServiceStats(encodeServiceStats(stats));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_EQ(decoded->requestsTotal, 10u);
+    EXPECT_EQ(decoded->compileRequests, 6u);
+    EXPECT_EQ(decoded->executeRequests, 2u);
+    EXPECT_EQ(decoded->rejectedQueueFull, 2u);
+    EXPECT_EQ(decoded->hotReplies, 3u);
+    EXPECT_EQ(decoded->cacheHitReplies, 4u);
+    EXPECT_TRUE(decoded->draining);
+    EXPECT_EQ(decoded->queueLimit, 16);
+    EXPECT_DOUBLE_EQ(decoded->p99Millis, 20.25);
+    EXPECT_EQ(decoded->cache.diskWrites, 4u);
+    ASSERT_EQ(decoded->stages.size(), 1u);
+    EXPECT_EQ(decoded->stages[0].pass, "ScheduleList");
+    EXPECT_EQ(decoded->stages[0].count, 6u);
+    EXPECT_DOUBLE_EQ(decoded->stages[0].totalMillis, 42.0);
+    // Re-encoding reproduces the exact bytes.
+    EXPECT_EQ(encodeServiceStats(*decoded), encodeServiceStats(stats));
+}
+
+TEST(ServiceStatsCodec, JsonRenderingCarriesKeySections)
+{
+    ServiceStats stats;
+    stats.hotReplies = 3;
+    ServiceStats::StageAggregate stage;
+    stage.pass = "Partition";
+    stats.stages.push_back(stage);
+    const std::string json = toJson(stats);
+    EXPECT_NE(json.find("\"requests\""), std::string::npos);
+    EXPECT_NE(json.find("\"outcomes\""), std::string::npos);
+    EXPECT_NE(json.find("\"hotReplies\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"latencyMillis\""), std::string::npos);
+    EXPECT_NE(json.find("\"cache\""), std::string::npos);
+    EXPECT_NE(json.find("\"Partition\""), std::string::npos);
+}
+
+} // namespace
+} // namespace dcmbqc

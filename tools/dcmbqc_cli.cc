@@ -7,11 +7,20 @@
  *   dcmbqc run       compile a serialized circuit/pattern artifact
  *                    and execute it on the execution backends
  *   dcmbqc inspect   pretty-print any artifact file as JSON
- *   dcmbqc stats     one-screen summary of an artifact file
+ *   dcmbqc stats     one-screen summary of an artifact file, a
+ *                    daemon's serving statistics (--daemon), or an
+ *                    on-disk cache store (--cache-dir)
+ *
+ * `compile` and `run` accept `--daemon SOCK` to route the job to a
+ * running `dcmbqcd` instead of compiling in-process, sharing its hot
+ * cache with every other client; `--autostart` spawns the daemon on
+ * demand when nothing serves the socket yet.
  *
  * Every failure travels through the Status channel and exits with a
  * non-zero code; nothing in this tool aborts.
  */
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -31,6 +40,8 @@
 #include "photonic/resource_state.hh"
 #include "serialize/codecs.hh"
 #include "serialize/json.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
 
 using namespace dcmbqc;
 
@@ -52,6 +63,8 @@ usage()
         "                 [--no-bdir] [--baseline] [--label NAME]\n"
         "                 [--cache-dir DIR] [--save-circuit "
         "FILE.dcmbqc] [--quiet]\n"
+        "                 [--daemon SOCK [--autostart] "
+        "[--deadline-ms N] [--progress]]\n"
         "  dcmbqc run     ARTIFACT.dcmbqc (circuit or pattern)\n"
         "                 [--backend statevector|stabilizer|mc-loss"
         "|all]\n"
@@ -62,8 +75,12 @@ usage()
         "                 [--seed S] [--pl-ratio R] [--no-bdir] "
         "[--cache-dir DIR]\n"
         "                 [-o REPORT.dcmbqc] [--quiet]\n"
+        "                 [--daemon SOCK [--autostart] "
+        "[--deadline-ms N] [--progress]]\n"
         "  dcmbqc inspect FILE.dcmbqc\n"
-        "  dcmbqc stats   FILE.dcmbqc\n");
+        "  dcmbqc stats   FILE.dcmbqc\n"
+        "  dcmbqc stats   --daemon SOCK [--json]\n"
+        "  dcmbqc stats   --cache-dir DIR\n");
     return 2;
 }
 
@@ -145,6 +162,79 @@ makeFamilyCircuit(const std::string &family, int qubits,
         "' (expected qft|qaoa|vqe|rca|clifford)");
 }
 
+// --- daemon mode -----------------------------------------------------------
+
+/** Shared --daemon flag set of the compile and run subcommands. */
+struct DaemonOptions
+{
+    std::string socket;
+    bool autostart = false;
+    int deadlineMillis = 0;
+    bool progress = false;
+};
+
+/**
+ * The daemon executable to autostart: the `dcmbqcd` binary next to
+ * this `dcmbqc` binary when present (the build tree and installs put
+ * them side by side), otherwise whatever PATH resolves.
+ */
+std::string
+daemonExecutable()
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        std::string path(buf);
+        const std::size_t slash = path.rfind('/');
+        if (slash != std::string::npos) {
+            path = path.substr(0, slash + 1) + "dcmbqcd";
+            if (::access(path.c_str(), X_OK) == 0)
+                return path;
+        }
+    }
+    return "dcmbqcd";
+}
+
+Status
+connectDaemon(ServiceClient &client, const DaemonOptions &daemon,
+              const std::string &cache_dir)
+{
+    if (!daemon.autostart)
+        return client.connect(daemon.socket);
+    std::vector<std::string> argv = {daemonExecutable(), "--socket",
+                                     daemon.socket, "--quiet"};
+    if (!cache_dir.empty()) {
+        argv.push_back("--cache-dir");
+        argv.push_back(cache_dir);
+    }
+    return client.connectOrStart(daemon.socket, argv);
+}
+
+/**
+ * One compile round trip against the daemon, with progress echo.
+ * Compile-only jobs go through the probe-first path: a warm daemon
+ * answers the 16-byte content-address probe with the raw artifact
+ * instead of making the client re-ship the request IR.
+ */
+Expected<ClientCompileResult>
+daemonCompile(ServiceClient &client, const ServiceJob &job,
+              bool quiet)
+{
+    const auto echo = [&](const ProgressEvent &event) {
+        if (quiet || !event.finished)
+            return;
+        std::printf("  [daemon] %-14s %8.2f ms  %s\n",
+                    event.pass.c_str(), event.millis,
+                    event.note.c_str());
+    };
+    return client.compileCached(
+        job, job.streamProgress
+                 ? std::function<void(const ProgressEvent &)>(echo)
+                 : nullptr);
+}
+
 // --- compile ---------------------------------------------------------------
 
 int
@@ -156,6 +246,7 @@ runCompile(const std::vector<std::string> &args)
     std::uint64_t seed = 1;
     ResourceStateType state = ResourceStateType::Star5;
     bool use_bdir = true, baseline = false, quiet = false;
+    DaemonOptions daemon;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
@@ -216,6 +307,14 @@ runCompile(const std::vector<std::string> &args)
             baseline = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--daemon") {
+            const char *v = next("--daemon");
+            if (!v) return 2;
+            daemon.socket = v;
+        } else if (arg == "--autostart") {
+            daemon.autostart = true;
+        } else if (arg == "--progress") {
+            daemon.progress = true;
         } else {
             int *slot = nullptr;
             if (arg == "--qubits") slot = &qubits;
@@ -223,6 +322,8 @@ runCompile(const std::vector<std::string> &args)
             else if (arg == "--grid") slot = &grid;
             else if (arg == "--kmax") slot = &kmax;
             else if (arg == "--pl-ratio") slot = &pl_ratio;
+            else if (arg == "--deadline-ms")
+                slot = &daemon.deadlineMillis;
             if (!slot) {
                 std::fprintf(stderr,
                              "dcmbqc: unknown option '%s'\n",
@@ -286,11 +387,68 @@ runCompile(const std::vector<std::string> &args)
     if (pl_ratio > 0)
         options.plRatio(pl_ratio);
     std::shared_ptr<CompileCache> cache;
-    if (!cache_dir.empty()) {
+    if (!cache_dir.empty() && daemon.socket.empty()) {
         CacheConfig cache_config;
         cache_config.diskDir = cache_dir;
         cache = std::make_shared<CompileCache>(cache_config);
         options.cache(cache);
+    }
+
+    // Daemon mode: ship the job to dcmbqcd and let it compile
+    // against its shared hot cache. --cache-dir is not opened here;
+    // it configures the store of an --autostart'ed daemon.
+    if (!daemon.socket.empty()) {
+        auto config = options.build();
+        if (!config.ok())
+            return fail(config.status());
+        ServiceJob job;
+        job.request = CompileRequest::fromCircuit(
+            *circuit, label.empty() ? circuit->name() : label);
+        job.config = *config;
+        job.baseline = baseline;
+        job.deadlineMillis = daemon.deadlineMillis > 0
+            ? static_cast<std::uint32_t>(daemon.deadlineMillis)
+            : 0;
+        job.streamProgress = daemon.progress;
+
+        ServiceClient client;
+        const Status connected =
+            connectDaemon(client, daemon, cache_dir);
+        if (!connected.ok())
+            return fail(connected);
+        auto served = daemonCompile(client, job, quiet);
+        if (!served.ok())
+            return fail(served.status());
+        const CompileReport &report = served->report;
+        if (!quiet) {
+            std::printf("compiled %s via %s: %s\n",
+                        report.label.c_str(),
+                        daemon.socket.c_str(),
+                        served->hotServed
+                            ? "hot cache hit (served raw)"
+                            : served->cacheHit
+                                  ? "cache hit (no pass ran)"
+                                  : "full pipeline");
+            std::printf("%s", report.describeStages().c_str());
+            const int exec = baseline
+                ? report.baselineResult().executionTime()
+                : report.result().executionTime();
+            const int tau = baseline
+                ? report.baselineResult().requiredLifetime()
+                : report.result().requiredLifetime();
+            std::printf("  execution time    %8d cycles\n", exec);
+            std::printf("  required lifetime %8d cycles\n", tau);
+        }
+        if (!out_path.empty()) {
+            const Status saved = saveArtifactFile(
+                out_path, encodeCompileReportArtifact(report));
+            if (!saved.ok())
+                return fail(saved);
+            if (!quiet)
+                std::printf("wrote report artifact %s\n",
+                            out_path.c_str());
+        }
+        return 0;
     }
 
     const CompilerDriver driver(options);
@@ -417,6 +575,7 @@ runRun(const std::vector<std::string> &args)
     bool exec_seed_set = false;
     double cycle_ns = 1.0;
     bool use_bdir = true, raw = false, quiet = false;
+    DaemonOptions daemon;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
@@ -477,6 +636,14 @@ runRun(const std::vector<std::string> &args)
             raw = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--daemon") {
+            const char *v = next("--daemon");
+            if (!v) return 2;
+            daemon.socket = v;
+        } else if (arg == "--autostart") {
+            daemon.autostart = true;
+        } else if (arg == "--progress") {
+            daemon.progress = true;
         } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
             int *slot = nullptr;
             if (arg == "--shots") slot = &shots;
@@ -485,6 +652,8 @@ runRun(const std::vector<std::string> &args)
             else if (arg == "--grid") slot = &grid;
             else if (arg == "--kmax") slot = &kmax;
             else if (arg == "--pl-ratio") slot = &pl_ratio;
+            else if (arg == "--deadline-ms")
+                slot = &daemon.deadlineMillis;
             if (!slot) {
                 std::fprintf(stderr, "dcmbqc: unknown option '%s'\n",
                              arg.c_str());
@@ -555,11 +724,107 @@ runRun(const std::vector<std::string> &args)
     if (pl_ratio > 0)
         options.plRatio(pl_ratio);
     std::shared_ptr<CompileCache> cache;
-    if (!cache_dir.empty()) {
+    if (!cache_dir.empty() && daemon.socket.empty()) {
         CacheConfig cache_config;
         cache_config.diskDir = cache_dir;
         cache = std::make_shared<CompileCache>(cache_config);
         options.cache(cache);
+    }
+
+    // Daemon mode: one compile+execute job per selected backend, so
+    // the "--backend all" skip semantics survive (a backend that
+    // cannot run this program fails its own job with
+    // FailedPrecondition; the others still run). Only the first job
+    // pays the pipeline — the rest hit the daemon's shared cache.
+    if (!daemon.socket.empty()) {
+        auto config = options.build();
+        if (!config.ok())
+            return fail(config.status());
+
+        ServiceClient client;
+        const Status connected =
+            connectDaemon(client, daemon, cache_dir);
+        if (!connected.ok())
+            return fail(connected);
+
+        const bool run_all = backend == "all";
+        const std::vector<std::string> selected = run_all
+            ? backendNames()
+            : std::vector<std::string>{backend};
+
+        ExecOptions exec;
+        exec.shots = shots;
+        exec.numThreads = threads;
+        exec.applyByproducts = !raw;
+        exec.lossModel.cyclePeriodNs = cycle_ns;
+        exec.seed = exec_seed_set
+            ? exec_seed
+            : static_cast<std::int64_t>(
+                  seed & 0x7fffffffffffffffull);
+
+        std::optional<CompileReport> merged;
+        int executed = 0;
+        for (const std::string &name : selected) {
+            exec.backend = name;
+            ServiceJob job;
+            job.request = *request;
+            job.config = *config;
+            job.deadlineMillis = daemon.deadlineMillis > 0
+                ? static_cast<std::uint32_t>(daemon.deadlineMillis)
+                : 0;
+            job.streamProgress = daemon.progress && !merged;
+            job.backends = {exec};
+            auto served = daemonCompile(client, job, quiet);
+            if (!served.ok()) {
+                if (run_all &&
+                    served.status().code() ==
+                        StatusCode::FailedPrecondition) {
+                    if (!quiet)
+                        std::printf(
+                            "backend %-11s skipped: %s\n",
+                            name.c_str(),
+                            served.status().message().c_str());
+                    continue;
+                }
+                return fail(served.status());
+            }
+            const std::size_t fresh = served->report.executions.size();
+            if (!merged) {
+                merged = std::move(served->report);
+                if (!quiet)
+                    std::printf(
+                        "compiled %s via %s: %s, execution time %d "
+                        "cycles, required lifetime %d cycles\n",
+                        merged->label.c_str(), daemon.socket.c_str(),
+                        served->cacheHit ? "cache hit"
+                                         : "full pipeline",
+                        merged->result().executionTime(),
+                        merged->result().requiredLifetime());
+            } else {
+                for (ExecResult &result : served->report.executions)
+                    merged->addExecution(std::move(result));
+            }
+            if (!quiet)
+                for (std::size_t e =
+                         merged->executions.size() - fresh;
+                     e < merged->executions.size(); ++e)
+                    printExecSummary(merged->executions[e]);
+            ++executed;
+        }
+        if (executed == 0)
+            return fail(Status::failedPrecondition(
+                "no requested backend could execute this program"));
+        if (!out_path.empty()) {
+            const Status saved = saveArtifactFile(
+                out_path, encodeCompileReportArtifact(*merged));
+            if (!saved.ok())
+                return fail(saved);
+            if (!quiet)
+                std::printf(
+                    "wrote report artifact %s (%d execution(s))\n",
+                    out_path.c_str(), executed);
+        }
+        return 0;
     }
 
     const CompilerDriver driver(options);
@@ -721,6 +986,112 @@ runInspect(const std::string &path)
     return 0;
 }
 
+/** `dcmbqc stats --daemon SOCK`: the daemon's serving statistics. */
+int
+runStatsDaemon(const std::string &socket_path, bool json)
+{
+    ServiceClient client;
+    Status status = client.connect(socket_path);
+    if (!status.ok())
+        return fail(status);
+    auto stats = client.stats();
+    if (!stats.ok())
+        return fail(stats.status());
+    if (json) {
+        std::printf("%s\n", toJson(*stats).c_str());
+        return 0;
+    }
+
+    const ServiceStats &s = *stats;
+    TextTable table({"field", "value"});
+    table.row().cell("socket").cell(socket_path);
+    table.row()
+        .cell("uptime")
+        .cell(std::to_string(s.uptimeMillis / 1000) + " s");
+    table.row()
+        .cell("requests")
+        .cell(static_cast<long long>(s.requestsTotal));
+    table.row()
+        .cell("  compile / execute")
+        .cell(std::to_string(s.compileRequests) + " / " +
+              std::to_string(s.executeRequests));
+    table.row()
+        .cell("  succeeded / failed")
+        .cell(std::to_string(s.succeeded) + " / " +
+              std::to_string(s.failed));
+    table.row()
+        .cell("  queue-full rejections")
+        .cell(static_cast<long long>(s.rejectedQueueFull));
+    table.row()
+        .cell("  deadline exceeded")
+        .cell(static_cast<long long>(s.deadlineExceeded));
+    table.row()
+        .cell("  cancelled")
+        .cell(static_cast<long long>(s.cancelled));
+    table.row()
+        .cell("cache hit replies")
+        .cell(static_cast<long long>(s.cacheHitReplies));
+    table.row()
+        .cell("  hot (served raw)")
+        .cell(static_cast<long long>(s.hotReplies));
+    const std::uint64_t lookups = s.cache.hits + s.cache.misses;
+    table.row()
+        .cell("cache hit rate")
+        .cell(lookups > 0 ? static_cast<double>(s.cache.hits) /
+                      static_cast<double>(lookups)
+                          : 0.0,
+              4);
+    table.row()
+        .cell("cache entries (memory)")
+        .cell(static_cast<long long>(s.cacheEntries));
+    table.row()
+        .cell("cache disk hits/writes")
+        .cell(std::to_string(s.cache.diskHits) + " / " +
+              std::to_string(s.cache.diskWrites));
+    table.row()
+        .cell("queue")
+        .cell(std::to_string(s.inFlight) + " in flight of " +
+              std::to_string(s.queueLimit) + " slots, " +
+              std::to_string(s.workers) + " worker(s)");
+    table.row().cell("latency p50").cell(s.p50Millis, 2);
+    table.row().cell("latency p99").cell(s.p99Millis, 2);
+    table.row().cell("latency max").cell(s.maxMillis, 2);
+    table.row()
+        .cell("draining")
+        .cell(s.draining ? "yes" : "no");
+    for (const ServiceStats::StageAggregate &stage : s.stages)
+        table.row()
+            .cell("stage " + stage.pass)
+            .cell(std::to_string(stage.count) + " run(s), " +
+                  std::to_string(stage.totalMillis) + " ms total");
+    std::printf("%s", table.render("daemon stats").c_str());
+    return 0;
+}
+
+/** `dcmbqc stats --cache-dir DIR`: offline disk-store summary. */
+int
+runStatsCacheDir(const std::string &dir)
+{
+    const DiskStoreStats stats = CompileCache::scanDiskStore(dir);
+    TextTable table({"field", "value"});
+    table.row().cell("store").cell(dir);
+    table.row()
+        .cell("entries")
+        .cell(static_cast<long long>(stats.entries));
+    table.row()
+        .cell("total bytes")
+        .cell(static_cast<long long>(stats.totalBytes));
+    table.row().cell("shard dirs").cell(stats.shardDirs);
+    table.row()
+        .cell("flat (pre-shard) entries")
+        .cell(static_cast<long long>(stats.flatEntries));
+    table.row()
+        .cell("unreadable entries")
+        .cell(static_cast<long long>(stats.unreadable));
+    std::printf("%s", table.render("cache store stats").c_str());
+    return 0;
+}
+
 int
 runStats(const std::string &path)
 {
@@ -871,7 +1242,30 @@ main(int argc, char **argv)
         return runRun(args);
     if (command == "inspect" && args.size() == 1)
         return runInspect(args[0]);
-    if (command == "stats" && args.size() == 1)
-        return runStats(args[0]);
+    if (command == "stats") {
+        // Three sources: a daemon's serving stats, an on-disk cache
+        // store, or (the original form) one artifact file.
+        std::string daemon_socket, cache_dir, file;
+        bool json = false;
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (args[i] == "--daemon" && i + 1 < args.size())
+                daemon_socket = args[++i];
+            else if (args[i] == "--cache-dir" && i + 1 < args.size())
+                cache_dir = args[++i];
+            else if (args[i] == "--json")
+                json = true;
+            else if (file.empty() && args[i][0] != '-')
+                file = args[i];
+            else
+                return usage();
+        }
+        if (!daemon_socket.empty())
+            return runStatsDaemon(daemon_socket, json);
+        if (!cache_dir.empty())
+            return runStatsCacheDir(cache_dir);
+        if (!file.empty())
+            return runStats(file);
+        return usage();
+    }
     return usage();
 }

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * `dcmbqcd`: the long-running compile/execute daemon. Serves the
+ * framed protocol of service/protocol.hh on a Unix-domain socket,
+ * sharing one hot compile cache across every client:
+ *
+ *   dcmbqcd --socket /run/dcmbqcd.sock [--cache-dir DIR] ...
+ *       serve in the foreground until drained
+ *   dcmbqcd --drain --socket /run/dcmbqcd.sock
+ *       ask the daemon serving that socket to drain and exit
+ *   dcmbqcd --stats --socket /run/dcmbqcd.sock
+ *       print the daemon's serving statistics as JSON
+ *
+ * SIGINT/SIGTERM trigger the same graceful drain as `--drain`:
+ * in-flight requests finish, the socket is unlinked, and the process
+ * exits 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "service/client.hh"
+#include "service/server.hh"
+
+using namespace dcmbqc;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  dcmbqcd --socket PATH [--workers N] [--queue-depth N]\n"
+        "          [--cache-dir DIR] [--cache-capacity N]\n"
+        "          [--default-deadline-ms N] [--quiet]\n"
+        "  dcmbqcd --drain --socket PATH\n"
+        "  dcmbqcd --stats --socket PATH\n");
+    return 2;
+}
+
+int
+fail(const Status &status)
+{
+    std::fprintf(stderr, "dcmbqcd: %s\n", status.toString().c_str());
+    return 1;
+}
+
+bool
+parseInt(const char *text, int &out)
+{
+    char *end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value < 0 || value > 1 << 30)
+        return false;
+    out = static_cast<int>(value);
+    return true;
+}
+
+/**
+ * The signal path into the graceful drain. requestDrain() is
+ * async-signal-safe (atomic store + pipe write), so the handler can
+ * call it directly.
+ */
+ServiceServer *signalTarget = nullptr;
+
+void
+onSignal(int)
+{
+    if (signalTarget)
+        signalTarget->requestDrain();
+}
+
+int
+sendDrain(const std::string &socket_path)
+{
+    ServiceClient client;
+    Status status = client.connect(socket_path);
+    if (!status.ok())
+        return fail(status);
+    status = client.drain();
+    if (!status.ok())
+        return fail(status);
+    std::printf("dcmbqcd: drain acknowledged on %s\n",
+                socket_path.c_str());
+    return 0;
+}
+
+int
+printStats(const std::string &socket_path)
+{
+    ServiceClient client;
+    Status status = client.connect(socket_path);
+    if (!status.ok())
+        return fail(status);
+    auto stats = client.stats();
+    if (!stats.ok())
+        return fail(stats.status());
+    std::printf("%s\n", toJson(*stats).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServiceConfig config;
+    bool drain = false, stats = false, quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "dcmbqcd: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--drain") {
+            drain = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--socket") {
+            const char *v = next("--socket");
+            if (!v) return 2;
+            config.socketPath = v;
+        } else if (arg == "--cache-dir") {
+            const char *v = next("--cache-dir");
+            if (!v) return 2;
+            config.cacheDir = v;
+        } else if (arg == "--workers" || arg == "--queue-depth" ||
+                   arg == "--cache-capacity" ||
+                   arg == "--default-deadline-ms") {
+            const char *v = next(arg.c_str());
+            if (!v) return 2;
+            int value = 0;
+            if (!parseInt(v, value)) {
+                std::fprintf(stderr,
+                             "dcmbqcd: %s expects a non-negative "
+                             "integer, got '%s'\n",
+                             arg.c_str(), v);
+                return 2;
+            }
+            if (arg == "--workers")
+                config.workers = value;
+            else if (arg == "--queue-depth")
+                config.queueDepth = value;
+            else if (arg == "--cache-capacity")
+                config.cacheCapacity =
+                    static_cast<std::size_t>(value);
+            else
+                config.defaultDeadlineMillis =
+                    static_cast<std::uint32_t>(value);
+        } else {
+            std::fprintf(stderr, "dcmbqcd: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    if (config.socketPath.empty()) {
+        std::fprintf(stderr, "dcmbqcd: --socket is required\n");
+        return usage();
+    }
+    if (drain && stats) {
+        std::fprintf(stderr,
+                     "dcmbqcd: --drain and --stats are exclusive\n");
+        return usage();
+    }
+    if (drain)
+        return sendDrain(config.socketPath);
+    if (stats)
+        return printStats(config.socketPath);
+
+    ServiceServer server(config);
+    const Status started = server.start();
+    if (!started.ok())
+        return fail(started);
+
+    signalTarget = &server;
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = onSignal;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+    // A client vanishing mid-write must surface as a Status on that
+    // session, never kill the daemon.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    if (!quiet)
+        std::printf("dcmbqcd: serving %s (%d worker(s), queue depth "
+                    "%d%s%s)\n",
+                    config.socketPath.c_str(),
+                    config.workers > 0
+                        ? config.workers
+                        : ThreadPool::defaultNumThreads(),
+                    config.queueDepth,
+                    config.cacheDir.empty() ? "" : ", disk cache ",
+                    config.cacheDir.c_str());
+
+    server.wait();
+    signalTarget = nullptr;
+    if (!quiet)
+        std::printf("dcmbqcd: drained, exiting\n");
+    return 0;
+}
