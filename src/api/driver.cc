@@ -13,6 +13,7 @@
 #include "cache/cache_key.hh"
 #include "cache/compile_cache.hh"
 #include "exec/backend.hh"
+#include "noise/model.hh"
 #include "serialize/codecs.hh"
 
 namespace dcmbqc
@@ -176,11 +177,27 @@ CompilerDriver::compileImpl(const CompileRequest &request,
     if (!config.ok())
         return config.status();
 
+    // Resolve the noise config once: a non-vacuous model feeds the
+    // noise-aware passes AND the cache key; vacuous or absent noise
+    // leaves both exactly as in a noise-free build.
+    std::optional<NoiseModel> noise_model;
+    const NoiseConfig *key_noise = nullptr;
+    if (options_.noiseConfig()) {
+        auto built = buildNoiseModel(*options_.noiseConfig());
+        if (!built.ok())
+            return built.status();
+        if (!built->vacuous()) {
+            noise_model = std::move(built.value());
+            key_noise = &*options_.noiseConfig();
+        }
+    }
+
     CompileCache *cache = options_.cacheStore().get();
     CacheKeyPair key;
     if (cache) {
         key = key_hint ? *key_hint
-                       : computeCacheKey(request, *config, baseline);
+                       : computeCacheKey(request, *config, baseline,
+                                         key_noise);
         if (auto bytes = cache->lookup(key.key)) {
             auto cached = decodeCompileReportArtifact(*bytes);
             // The stored verifier must match: a 64-bit key collision
@@ -208,6 +225,8 @@ CompilerDriver::compileImpl(const CompileRequest &request,
     PassContext ctx;
     ctx.config = *config;
     ctx.cancel = request.cancellation();
+    if (noise_model)
+        ctx.noise = &*noise_model;
 
     switch (request.entryPoint()) {
       case CompileRequest::EntryPoint::Circuit:
@@ -370,11 +389,17 @@ CompilerDriver::compileBatch(
     if (options_.cacheStore()) {
         auto normalized = options_.build();
         if (normalized.ok()) {
+            const NoiseConfig *key_noise =
+                options_.noiseConfig() &&
+                    noiseAffectsCompile(*options_.noiseConfig())
+                ? &*options_.noiseConfig()
+                : nullptr;
             keys.resize(n);
             std::unordered_map<std::uint64_t, std::size_t> first_seen;
             for (std::size_t i = 0; i < n; ++i) {
                 keys[i] = computeCacheKey(requests[i], *normalized,
-                                          /*baseline=*/false);
+                                          /*baseline=*/false,
+                                          key_noise);
                 if (first_seen.emplace(keys[i].key, i).second)
                     unique_indices.push_back(i);
                 else

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "cache/compile_cache.hh"
+#include "noise/model.hh"
 
 namespace dcmbqc
 {
@@ -143,6 +144,13 @@ CompileOptions::cache(std::shared_ptr<CompileCache> cache)
     return *this;
 }
 
+CompileOptions &
+CompileOptions::noise(NoiseConfig config)
+{
+    noise_ = std::move(config);
+    return *this;
+}
+
 Status
 CompileOptions::validate() const
 {
@@ -189,6 +197,11 @@ CompileOptions::validate() const
         complain("BDIR cooling rate must lie in (0, 1)");
     if (config_.bdir.maxIterations < 0)
         complain("BDIR maxIterations must be >= 0");
+    if (noise_) {
+        const auto model = buildNoiseModel(*noise_);
+        if (!model.ok())
+            complain(model.status().message());
+    }
 
     if (count > 0)
         return Status::invalidConfig(problems.str());

@@ -21,11 +21,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/status.hh"
 #include "core/pipeline.hh"
+#include "noise/config.hh"
 
 namespace dcmbqc
 {
@@ -93,6 +95,22 @@ class CompileOptions
     }
 
     /**
+     * Attach a noise configuration (src/noise/). A non-vacuous
+     * config makes partitioning and BDIR refinement optimize
+     * composite noise survival, and becomes part of the compile's
+     * cache identity — noise-distinct requests never alias. A
+     * vacuous (zero-noise) config changes neither the compiled
+     * result nor the cache key.
+     */
+    CompileOptions &noise(NoiseConfig config);
+
+    /** The attached noise config; nullopt when none. */
+    const std::optional<NoiseConfig> &noiseConfig() const
+    {
+        return noise_;
+    }
+
+    /**
      * Check every field against its documented domain. Returns
      * InvalidConfig listing *all* violations (semicolon-separated)
      * rather than just the first, so a service can report the full
@@ -117,6 +135,7 @@ class CompileOptions
   private:
     DcMbqcConfig config_;
     std::shared_ptr<CompileCache> cache_;
+    std::optional<NoiseConfig> noise_;
 };
 
 } // namespace dcmbqc

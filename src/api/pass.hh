@@ -32,6 +32,7 @@ namespace dcmbqc
 {
 
 class CompileRequest;
+class NoiseModel;
 
 /**
  * Shared blackboard the passes read from and write to. The driver
@@ -51,6 +52,13 @@ struct PassContext
 
     /** Borrowed from the request; null for non-circuit entries. */
     const Circuit *circuit = nullptr;
+
+    /**
+     * Borrowed from the driver; when non-null, PartitionPass and
+     * RefineBdirPass optimize composite noise survival instead of
+     * modularity / tau_photon (src/noise/).
+     */
+    const NoiseModel *noise = nullptr;
 
     /** Filled by TranspilePass. */
     std::optional<JCircuit> jcircuit;

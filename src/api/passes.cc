@@ -55,12 +55,15 @@ PartitionPass::run(PassContext &ctx) const
         return Status::internal("Partition: no graph on context");
 
     ctx.partitionResult =
-        adaptivePartition(*ctx.graph, ctx.config.partition);
+        adaptivePartition(*ctx.graph, ctx.config.partition, ctx.noise);
 
     std::ostringstream note;
     note << ctx.config.partition.k << " parts, "
          << ctx.partitionResult->cutEdges << " cut edges, "
          << "modularity " << ctx.partitionResult->modularity;
+    if (ctx.noise)
+        note << ", noise log-survival "
+             << ctx.partitionResult->noiseLogSurvival;
     ctx.stageNote = note.str();
     return Status::okStatus();
 }
@@ -113,12 +116,14 @@ RefineBdirPass::run(PassContext &ctx) const
         return Status::internal("RefineBdir: no schedule to refine");
 
     ctx.schedule = bdirOptimize(*ctx.lsp, *ctx.schedule,
-                                ctx.config.bdir, &ctx.bdirStats);
+                                ctx.config.bdir, &ctx.bdirStats,
+                                ctx.noise);
 
     std::ostringstream note;
     note << "lifetime " << ctx.bdirStats.initialLifetime << " -> "
          << ctx.bdirStats.finalLifetime << " cycles ("
-         << ctx.bdirStats.acceptedMoves << " accepted moves)";
+         << ctx.bdirStats.acceptedMoves << " accepted moves"
+         << (ctx.noise ? ", noise-aware objective" : "") << ")";
     ctx.stageNote = note.str();
     return Status::okStatus();
 }

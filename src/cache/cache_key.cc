@@ -8,7 +8,8 @@ namespace dcmbqc
 
 CacheKeyPair
 computeCacheKey(const CompileRequest &request,
-                const DcMbqcConfig &config, bool baseline)
+                const DcMbqcConfig &config, bool baseline,
+                const NoiseConfig *noise)
 {
     BinaryWriter writer;
     writer.writeU32(compileCacheEpoch);
@@ -28,6 +29,12 @@ computeCacheKey(const CompileRequest &request,
         break;
     }
     encodeConfig(writer, config);
+    if (noise) {
+        // Appended (never a zero placeholder) so keys without noise
+        // keep their exact pre-noise byte stream and hash.
+        writer.writeU8(1);
+        encodeNoiseConfig(writer, *noise);
+    }
     CacheKeyPair pair;
     pair.key = fnv1a64(writer.bytes().data(), writer.bytes().size());
     // Independent second hash (different offset basis): one 64-bit

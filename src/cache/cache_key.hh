@@ -18,6 +18,7 @@
 
 #include "api/request.hh"
 #include "core/pipeline.hh"
+#include "noise/config.hh"
 
 namespace dcmbqc
 {
@@ -54,10 +55,17 @@ struct CacheKeyPair
  * @param config The normalized config (CompileOptions::build output),
  *        so partition.k aliasing cannot split cache lines.
  * @param baseline True for the monolithic baseline pipeline.
+ * @param noise The noise config when (and only when) it affects the
+ *        compile (`noiseAffectsCompile`): a non-vacuous config is
+ *        part of the compiled schedule's identity, so it is appended
+ *        to the hashed stream. Callers pass null for absent *and*
+ *        vacuous configs, which therefore alias the noise-free keys
+ *        by construction.
  */
 CacheKeyPair computeCacheKey(const CompileRequest &request,
                              const DcMbqcConfig &config,
-                             bool baseline);
+                             bool baseline,
+                             const NoiseConfig *noise = nullptr);
 
 } // namespace dcmbqc
 

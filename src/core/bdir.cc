@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "noise/analysis.hh"
 
 namespace dcmbqc
 {
@@ -202,22 +203,31 @@ generateNeighbor(const LayerSchedulingProblem &lsp,
 
 Schedule
 bdirOptimize(const LayerSchedulingProblem &lsp, const Schedule &initial,
-             const BdirConfig &config, BdirStats *stats)
+             const BdirConfig &config, BdirStats *stats,
+             const NoiseModel *noise)
 {
     Rng rng(config.seed);
 
+    // SA cost: tau_photon when noise-blind (the paper's objective);
+    // negated composite log survival when a noise model is given, so
+    // "lower is better" holds for both.
+    const auto costOf = [&](const Schedule &schedule) -> double {
+        if (noise)
+            return -scheduleLogSurvival(lsp, schedule, *noise);
+        return evaluateSchedule(lsp, schedule).tauPhoton();
+    };
+
     Schedule current = initial;
     Schedule best = initial;
-    int c_best = evaluateSchedule(lsp, best).tauPhoton();
-    const int c_init = c_best;
+    double c_best = costOf(best);
     double temperature = config.initialTemperature;
 
     int accepted = 0;
     int improved = 0;
     for (int iter = 0; iter < config.maxIterations; ++iter) {
         Schedule next = generateNeighbor(lsp, current);
-        const int c_current = evaluateSchedule(lsp, current).tauPhoton();
-        const int c_new = evaluateSchedule(lsp, next).tauPhoton();
+        const double c_current = costOf(current);
+        const double c_new = costOf(next);
         const double delta = c_new - c_current;
 
         if (delta <= 0.0 ||
@@ -225,7 +235,7 @@ bdirOptimize(const LayerSchedulingProblem &lsp, const Schedule &initial,
             current = std::move(next);
             ++accepted;
         }
-        const int c_cur_now = evaluateSchedule(lsp, current).tauPhoton();
+        const double c_cur_now = costOf(current);
         if (c_cur_now < c_best) {
             c_best = c_cur_now;
             best = current;
@@ -238,8 +248,9 @@ bdirOptimize(const LayerSchedulingProblem &lsp, const Schedule &initial,
         stats->iterations = config.maxIterations;
         stats->acceptedMoves = accepted;
         stats->improvedMoves = improved;
-        stats->initialLifetime = c_init;
-        stats->finalLifetime = c_best;
+        stats->initialLifetime =
+            evaluateSchedule(lsp, initial).tauPhoton();
+        stats->finalLifetime = evaluateSchedule(lsp, best).tauPhoton();
     }
     return best;
 }

@@ -23,6 +23,8 @@
 namespace dcmbqc
 {
 
+class NoiseModel;
+
 /** SA parameters of Algorithm 3 (paper defaults in Section V-A). */
 struct BdirConfig
 {
@@ -52,13 +54,22 @@ struct BdirStats
  * Run Algorithm 3 starting from `initial` (typically the default
  * list schedule).
  *
+ * With a noise model, the SA objective becomes the negated schedule
+ * log survival (`scheduleLogSurvival`) instead of tau_photon, so the
+ * refinement trades storage and connector waits by their actual
+ * composite loss instead of the worst single wait. Stats lifetimes
+ * stay in tau_photon cycles either way. Without a model, behavior is
+ * bit-identical to the noise-free algorithm.
+ *
  * @param stats Optional out diagnostics.
+ * @param noise Optional noise model driving the SA objective.
  * @return The best schedule found (never worse than `initial`).
  */
 Schedule bdirOptimize(const LayerSchedulingProblem &lsp,
                       const Schedule &initial,
                       const BdirConfig &config = {},
-                      BdirStats *stats = nullptr);
+                      BdirStats *stats = nullptr,
+                      const NoiseModel *noise = nullptr);
 
 /**
  * The neighborhood generator (exposed for tests): one

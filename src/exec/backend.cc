@@ -141,11 +141,12 @@ executeProgram(const ExecProgram &program, const ExecOptions &options)
             "backend '" + options.backend +
             "' executes measurement patterns, but the program has "
             "none (graph-entry programs carry no angles)");
-    if (caps.runsSchedule && !program.hasSchedule())
+    if (caps.runsSchedule && !program.hasSchedule() &&
+        !program.hasBaseline())
         return Status::failedPrecondition(
             "backend '" + options.backend +
             "' executes compiled schedules; compile first (or use "
-            "compileAndExecute)");
+            "compileAndExecute, or attach a baseline)");
     if (caps.maxWires > 0 && program.hasPattern() &&
         program.pattern().numWires() > caps.maxWires)
         return Status::failedPrecondition(

@@ -1,8 +1,13 @@
 #include "exec/loss_backend.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "common/rng.hh"
+#include "noise/analysis.hh"
+#include "noise/model.hh"
 #include "sim/loss_analysis.hh"
 
 namespace dcmbqc
@@ -85,58 +90,154 @@ MonteCarloLossBackend::capabilities() const
     return caps;
 }
 
-Expected<ExecResult>
-MonteCarloLossBackend::run(const ExecProgram &program,
-                           const ExecOptions &options) const
+namespace
 {
-    const DcMbqcResult &compiled = program.schedule();
-    auto times =
-        schedulePhotonTimes(compiled, program.graph().numNodes());
-    if (!times.ok())
-        return times.status();
 
-    // Intra-QPU edges only: connector storage is tau_remote, already
-    // bounded by the scheduler, matching the Algorithm 1 accounting
-    // the loss-analysis tests pin down.
-    const Graph local = intraQpuEdges(program.graph(), compiled);
-    const LossAnalysis analysis =
-        analyzeLoss(local, program.deps(), *times, options.lossModel);
-
-    ExecResult result;
-    result.threads = resolveThreads(options.numThreads, options.shots);
-    result.analyticSuccessProbability = analysis.successProbability;
-    result.maxStorageCycles = analysis.maxStorageCycles;
-    result.meanStorageCycles = analysis.meanStorageCycles;
-
-    // Loss probability per photon, precomputed once outside the
-    // sampling loop.
-    std::vector<double> loss_prob(analysis.storageCycles.size());
-    for (std::size_t u = 0; u < loss_prob.size(); ++u)
-        loss_prob[u] = options.lossModel.lossProbability(
-            analysis.storageCycles[u]);
-
-    std::vector<std::int32_t> lost(options.shots, 0);
-    forEachShot(options.shots, result.threads, [&](int shot) {
-        Rng rng(shotSeed(options.seed, shot));
-        std::int32_t lost_here = 0;
-        for (const double p : loss_prob)
-            if (rng.bernoulli(p))
-                ++lost_here;
-        lost[shot] = lost_here;
-    });
-
+/** Aggregate per-shot lost-photon counts into the result. */
+void
+finalizeLossResult(ExecResult &result, int shots,
+                   const std::vector<std::int32_t> &lost,
+                   double success_probability)
+{
     for (const std::int32_t lost_here : lost) {
         if (lost_here > 0) {
             ++result.lostShots;
             result.lostPhotons += lost_here;
         }
     }
-    result.completedShots = options.shots - result.lostShots;
+    result.completedShots = shots - result.lostShots;
     result.counts["success"] = result.completedShots;
     result.counts["loss"] = result.lostShots;
-    result.probabilities["success"] = analysis.successProbability;
-    result.probabilities["loss"] =
-        1.0 - analysis.successProbability;
+    result.probabilities["success"] = success_probability;
+    result.probabilities["loss"] = 1.0 - success_probability;
+}
+
+} // namespace
+
+Expected<ExecResult>
+MonteCarloLossBackend::run(const ExecProgram &program,
+                           const ExecOptions &options) const
+{
+    const NodeId n = program.graph().numNodes();
+
+    // Derive per-photon generation times and the QPU assignment from
+    // whichever compiled form the program carries. A baseline is a
+    // single QPU: no assignment, every fusion intra.
+    std::vector<TimeSlot> times;
+    const std::vector<int> *assignment = nullptr;
+    if (program.hasSchedule()) {
+        auto scheduled = schedulePhotonTimes(program.schedule(), n);
+        if (!scheduled.ok())
+            return scheduled.status();
+        times = std::move(scheduled.value());
+        assignment = &program.schedule().partition.assignment();
+    } else if (program.hasBaseline()) {
+        const LocalSchedule &local = program.baseline().schedule;
+        times.resize(n);
+        for (NodeId u = 0; u < n; ++u)
+            times[u] = local.nodePhysicalTime(u);
+    } else {
+        return Status::failedPrecondition(
+            "mc-loss requires a compiled schedule or a baseline");
+    }
+
+    std::optional<NoiseModel> model;
+    if (options.noise) {
+        auto built = buildNoiseModel(*options.noise);
+        if (!built.ok())
+            return built.status();
+        if (!built->vacuous())
+            model = std::move(built.value());
+    }
+
+    ExecResult result;
+    result.threads = resolveThreads(options.numThreads, options.shots);
+
+    if (!model) {
+        // Legacy storage-only path, bit-identical to the pre-noise
+        // backend: intra-QPU edges only (connector storage is
+        // tau_remote, bounded by the scheduler), one bernoulli per
+        // photon in node order.
+        const Graph local = program.hasSchedule()
+            ? intraQpuEdges(program.graph(), program.schedule())
+            : program.graph();
+        const LossAnalysis analysis = analyzeLoss(
+            local, program.deps(), times, options.lossModel);
+        result.analyticSuccessProbability =
+            analysis.successProbability;
+        result.maxStorageCycles = analysis.maxStorageCycles;
+        result.meanStorageCycles = analysis.meanStorageCycles;
+
+        std::vector<double> loss_prob(analysis.storageCycles.size());
+        for (std::size_t u = 0; u < loss_prob.size(); ++u)
+            loss_prob[u] = options.lossModel.lossProbability(
+                analysis.storageCycles[u]);
+
+        std::vector<std::int32_t> lost(options.shots, 0);
+        forEachShot(options.shots, result.threads, [&](int shot) {
+            Rng rng(shotSeed(options.seed, shot));
+            std::int32_t lost_here = 0;
+            for (const double p : loss_prob)
+                if (rng.bernoulli(p))
+                    ++lost_here;
+            lost[shot] = lost_here;
+        });
+        finalizeLossResult(result, options.shots, lost,
+                           analysis.successProbability);
+        return result;
+    }
+
+    // Mechanism path: every registered mechanism samples over the
+    // program's exposure. Cut edges charge connector insertion loss
+    // and tau_remote storage to both endpoints — the storage the
+    // legacy path deliberately ignored — plus per-fusion failure.
+    const NoiseExposure exposure = buildExposure(
+        program.graph(), program.deps(), times, assignment);
+    const NoiseAnalysis analysis = analyzeNoise(exposure, *model);
+    result.analyticSuccessProbability = analysis.successProbability;
+    result.maxStorageCycles = analysis.maxStorageCycles;
+    result.meanStorageCycles = analysis.meanStorageCycles;
+    result.notes.push_back("noise model: " + model->describe());
+
+    // Independent per-site loss excludes correlated mechanisms:
+    // those sample through their own hook below, and their analytic
+    // factor must not be drawn twice.
+    std::vector<double> site_loss(exposure.sites.size());
+    for (std::size_t u = 0; u < exposure.sites.size(); ++u) {
+        double survival = 1.0;
+        for (const auto &mechanism : model->mechanisms())
+            if (!mechanism->correlated())
+                survival *= mechanism->siteSurvival(exposure.sites[u]);
+        site_loss[u] = std::min(1.0, std::max(0.0, 1.0 - survival));
+    }
+    const bool has_correlated = model->hasCorrelated();
+
+    std::vector<std::int32_t> lost(options.shots, 0);
+    forEachShot(options.shots, result.threads, [&](int shot) {
+        Rng rng(shotSeed(options.seed, shot));
+        std::int32_t lost_here = 0;
+        if (!has_correlated) {
+            for (const double p : site_loss)
+                if (rng.bernoulli(p))
+                    ++lost_here;
+        } else {
+            // A burst can hit a photon the independent draws already
+            // lost; the mask keeps the count honest.
+            std::vector<char> mask(site_loss.size(), 0);
+            for (std::size_t u = 0; u < site_loss.size(); ++u)
+                if (rng.bernoulli(site_loss[u]))
+                    mask[u] = 1;
+            model->sampleCorrelated(exposure.sites, rng, mask);
+            lost_here = static_cast<std::int32_t>(
+                std::count(mask.begin(), mask.end(), char(1)));
+        }
+        for (const double p : analysis.edgeLoss)
+            if (rng.bernoulli(p))
+                ++lost_here;
+        lost[shot] = lost_here;
+    });
+    finalizeLossResult(result, options.shots, lost,
+                       analysis.successProbability);
     return result;
 }
 

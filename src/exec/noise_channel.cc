@@ -1,0 +1,79 @@
+#include "exec/noise_channel.hh"
+
+#include <algorithm>
+
+namespace dcmbqc
+{
+
+Expected<NoiseChannel>
+NoiseChannel::make(const ExecOptions &options, NodeId num_nodes)
+{
+    NoiseChannel channel;
+    if (!options.noise)
+        return channel;
+
+    auto model = buildNoiseModel(*options.noise);
+    if (!model.ok())
+        return model.status();
+    if (model->vacuous())
+        return channel;
+
+    channel.model_ = std::move(model.value());
+    channel.description_ = channel.model_.describe();
+    channel.sites_.assign(num_nodes, NoiseSite{});
+    channel.siteLoss_.assign(num_nodes, 0.0);
+    for (NodeId u = 0; u < num_nodes; ++u) {
+        channel.sites_[u].totalSites = static_cast<int>(num_nodes);
+        // Independent per-site loss only; correlated mechanisms
+        // sample through their own hook, so their analytic factor
+        // must not be double-counted here.
+        double survival = 1.0;
+        for (const auto &mechanism : channel.model_.mechanisms())
+            if (!mechanism->correlated())
+                survival *= mechanism->siteSurvival(channel.sites_[u]);
+        channel.siteLoss_[u] =
+            std::min(1.0, std::max(0.0, 1.0 - survival));
+        if (channel.siteLoss_[u] > 0.0)
+            channel.anyLoss_ = true;
+    }
+    channel.correlated_ = channel.model_.hasCorrelated();
+    channel.flip_ = channel.model_.flipProbability();
+    channel.active_ = true;
+    return channel;
+}
+
+int
+NoiseChannel::sampleLoss(Rng &rng) const
+{
+    if (!active_ || (!anyLoss_ && !correlated_))
+        return 0;
+    if (!correlated_) {
+        int lost = 0;
+        for (const double p : siteLoss_)
+            if (rng.bernoulli(p))
+                ++lost;
+        return lost;
+    }
+    // With a correlated mechanism in play the independent draws and
+    // the burst draws can hit the same photon; a mask keeps the lost
+    // count honest.
+    std::vector<char> lost(sites_.size(), 0);
+    for (std::size_t u = 0; u < siteLoss_.size(); ++u)
+        if (rng.bernoulli(siteLoss_[u]))
+            lost[u] = 1;
+    model_.sampleCorrelated(sites_, rng, lost);
+    return static_cast<int>(
+        std::count(lost.begin(), lost.end(), char(1)));
+}
+
+void
+NoiseChannel::applyFlips(Rng &rng, std::string &bits) const
+{
+    if (!active_ || flip_ <= 0.0)
+        return;
+    for (char &bit : bits)
+        if (rng.bernoulli(flip_))
+            bit = bit == '0' ? '1' : '0';
+}
+
+} // namespace dcmbqc

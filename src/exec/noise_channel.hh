@@ -1,0 +1,84 @@
+/**
+ * @file
+ * `NoiseChannel`: the simulator backends' view of a noise model. A
+ * pattern run has no schedule, so the channel evaluates each
+ * mechanism over schedule-free exposure (zero storage, no
+ * connectors) — storage-dependent mechanisms contribute nothing
+ * here by design — and distills the model into the two effects a
+ * pattern-level simulator can apply: a photon-loss draw that voids
+ * the shot, and an outcome bit-flip per output wire.
+ *
+ * Noise draws come from a *separate* RNG stream
+ * (`noiseShotSeed(seed, shot)`), never the outcome stream, so a
+ * vacuous channel leaves every sampled outcome bit-identical to a
+ * run without a noise config.
+ */
+
+#ifndef DCMBQC_EXEC_NOISE_CHANNEL_HH
+#define DCMBQC_EXEC_NOISE_CHANNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "exec/options.hh"
+#include "noise/model.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Stream salt separating noise draws from outcome draws; XORed into
+ * `shotSeed(seed, shot)` to derive the per-shot noise stream.
+ */
+inline constexpr std::uint64_t kNoiseStreamSalt =
+    0x5851f42d4c957f2dull;
+
+/** Per-shot noise effects for the pattern-level simulators. */
+class NoiseChannel
+{
+  public:
+    /**
+     * Build the channel for `options.noise` over `num_nodes` pattern
+     * photons. An absent or vacuous config yields an inactive
+     * channel (and no run-time cost); an invalid one is reported via
+     * Status.
+     */
+    static Expected<NoiseChannel> make(const ExecOptions &options,
+                                       NodeId num_nodes);
+
+    /** False: every query is a no-op, draw nothing. */
+    bool active() const { return active_; }
+
+    /**
+     * Sample photon loss for one shot: independent per-site draws
+     * first, then the correlated hooks, in site order. Returns the
+     * number of lost photons (> 0 voids the shot).
+     */
+    int sampleLoss(Rng &rng) const;
+
+    /** Flip each outcome bit independently with the composite p. */
+    void applyFlips(Rng &rng, std::string &bits) const;
+
+    /** "delay-line+depolarizing" — for result notes. */
+    const std::string &description() const { return description_; }
+
+  private:
+    NoiseChannel() = default;
+
+    NoiseModel model_;
+    std::vector<NoiseSite> sites_;
+    std::vector<double> siteLoss_;
+    double flip_ = 0.0;
+    bool anyLoss_ = false;
+    bool correlated_ = false;
+    bool active_ = false;
+    std::string description_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_EXEC_NOISE_CHANNEL_HH

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "exec/backend.hh"
+#include "noise/model.hh"
 
 namespace dcmbqc
 {
@@ -44,6 +45,11 @@ ExecOptions::validate() const
     if (lossModel.speedFraction <= 0.0 ||
         lossModel.speedFraction > 1.0)
         complain("loss model speed fraction must lie in (0, 1]");
+    if (noise) {
+        const auto model = buildNoiseModel(*noise);
+        if (!model.ok())
+            complain(model.status().message());
+    }
 
     if (count > 0)
         return Status::invalidConfig(problems.str());

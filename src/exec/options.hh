@@ -12,9 +12,11 @@
 #define DCMBQC_EXEC_OPTIONS_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "api/status.hh"
+#include "noise/config.hh"
 #include "photonic/loss_model.hh"
 
 namespace dcmbqc
@@ -58,6 +60,18 @@ struct ExecOptions
 
     /** Delay-line loss model used by the Monte-Carlo loss backend. */
     LossModel lossModel;
+
+    /**
+     * Pluggable noise configuration (src/noise/). When set and
+     * non-vacuous, the mc-loss backend samples every configured
+     * mechanism instead of intra-QPU storage loss only, and the
+     * simulator backends inject the loss / outcome-flip channels.
+     * When absent (or vacuous) every backend is bit-identical to a
+     * run without this field. validate() resolves the config against
+     * the mechanism registry and rejects unknown mechanisms or
+     * out-of-domain parameters.
+     */
+    std::optional<NoiseConfig> noise;
 
     /** Check every field against its documented domain. */
     Status validate() const;

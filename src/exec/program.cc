@@ -60,6 +60,13 @@ ExecProgram::withSchedule(DcMbqcResult result)
     return *this;
 }
 
+ExecProgram &
+ExecProgram::withBaseline(BaselineResult baseline)
+{
+    baseline_ = std::move(baseline);
+    return *this;
+}
+
 const Pattern &
 ExecProgram::pattern() const
 {
@@ -74,6 +81,14 @@ ExecProgram::schedule() const
     if (!compiled_)
         panic("ExecProgram::schedule(): program has no schedule");
     return *compiled_;
+}
+
+const BaselineResult &
+ExecProgram::baseline() const
+{
+    if (!baseline_)
+        panic("ExecProgram::baseline(): program has no baseline");
+    return *baseline_;
 }
 
 Status
@@ -100,6 +115,13 @@ ExecProgram::validate() const
                 " nodes, graph has " +
                 std::to_string(graph_.numNodes()));
     }
+    if (baseline_ &&
+        static_cast<NodeId>(baseline_->schedule.nodeLayer.size()) !=
+            graph_.numNodes())
+        return Status::invalidArgument(
+            "baseline schedule covers " +
+            std::to_string(baseline_->schedule.nodeLayer.size()) +
+            " nodes, graph has " + std::to_string(graph_.numNodes()));
     return Status::okStatus();
 }
 

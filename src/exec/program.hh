@@ -58,10 +58,19 @@ class ExecProgram
     /** Attach a compiled distributed schedule (chainable). */
     ExecProgram &withSchedule(DcMbqcResult result);
 
+    /**
+     * Attach a monolithic single-QPU baseline schedule (chainable).
+     * Schedule-level backends (mc-loss) accept either form: a
+     * baseline carries per-photon generation times but no partition,
+     * so every fusion is intra-QPU and no connector noise applies.
+     */
+    ExecProgram &withBaseline(BaselineResult baseline);
+
     const std::string &label() const { return label_; }
 
     bool hasPattern() const { return pattern_.has_value(); }
     bool hasSchedule() const { return compiled_.has_value(); }
+    bool hasBaseline() const { return baseline_.has_value(); }
 
     /** The measurement pattern; panics when absent (check first). */
     const Pattern &pattern() const;
@@ -74,6 +83,9 @@ class ExecProgram
 
     /** The compiled schedule; panics when absent (check first). */
     const DcMbqcResult &schedule() const;
+
+    /** The baseline schedule; panics when absent (check first). */
+    const BaselineResult &baseline() const;
 
     /**
      * Structural consistency: graph/deps node counts match, and an
@@ -89,6 +101,7 @@ class ExecProgram
     Graph graph_;
     Digraph deps_;
     std::optional<DcMbqcResult> compiled_;
+    std::optional<BaselineResult> baseline_;
 };
 
 } // namespace dcmbqc

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hh"
+#include "exec/noise_channel.hh"
 #include "sim/stabilizer.hh"
 
 namespace dcmbqc
@@ -37,6 +38,9 @@ struct StabShot
 
     /** Non-deterministic output measurements in this shot. */
     int randomOutputs = 0;
+
+    /** Photons lost to the noise channel (> 0 voids the shot). */
+    int lostPhotons = 0;
 };
 
 StabShot
@@ -128,6 +132,10 @@ StabilizerBackend::run(const ExecProgram &program,
         base_turns[u] = k;
     }
 
+    auto channel = NoiseChannel::make(options, pattern.numNodes());
+    if (!channel.ok())
+        return channel.status();
+
     ExecResult result;
     result.numWires = pattern.numWires();
     result.threads = resolveThreads(options.numThreads, options.shots);
@@ -137,13 +145,29 @@ StabilizerBackend::run(const ExecProgram &program,
         Rng rng(shotSeed(options.seed, shot));
         shots[shot] = runShot(pattern, base_turns,
                               options.applyByproducts, rng);
+        if (channel->active()) {
+            Rng noise_rng(shotSeed(options.seed, shot) ^
+                          kNoiseStreamSalt);
+            shots[shot].lostPhotons =
+                channel->sampleLoss(noise_rng);
+            if (shots[shot].lostPhotons == 0)
+                channel->applyFlips(noise_rng, shots[shot].bits);
+        }
     });
 
     for (StabShot &shot : shots) {
+        if (shot.lostPhotons > 0) {
+            ++result.lostShots;
+            result.lostPhotons += shot.lostPhotons;
+            continue;
+        }
         // Chain rule over the sequential output measurements: each
         // deterministic one contributes 1, each random one 1/2.
+        // Outcome flips decouple the sampled bitstring from its
+        // chain-rule probability, so the exact map is skipped when
+        // the channel flips bits.
         const double p = std::ldexp(1.0, -shot.randomOutputs);
-        if (options.applyByproducts) {
+        if (options.applyByproducts && !channel->active()) {
             // The corrected distribution is outcome-independent, so
             // equal bitstrings must agree on their probability; a
             // mismatch means the flow corrections are wrong.
@@ -158,12 +182,17 @@ StabilizerBackend::run(const ExecProgram &program,
         }
         ++result.counts[std::move(shot.bits)];
     }
-    result.completedShots = options.shots;
+    result.completedShots = options.shots - result.lostShots;
     if (!options.applyByproducts)
         result.notes.push_back(
             "exact probabilities unavailable: byproducts left "
             "uncorrected, per-shot probabilities are conditional on "
             "the intermediate outcomes");
+    if (channel->active())
+        result.notes.push_back(
+            "noise channel applied per shot (" +
+            channel->description() +
+            "); exact probabilities omitted under noise");
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hh"
+#include "exec/noise_channel.hh"
 #include "sim/pattern_runner.hh"
 #include "sim/statevector.hh"
 
@@ -48,13 +49,20 @@ StatevectorBackend::run(const ExecProgram &program,
     const Pattern &pattern = program.pattern();
     const int wires = pattern.numWires();
 
+    auto channel = NoiseChannel::make(options, pattern.numNodes());
+    if (!channel.ok())
+        return channel.status();
+
     ExecResult result;
     result.numWires = wires;
     result.threads = resolveThreads(options.numThreads, options.shots);
 
     // Per-shot outcome slots: sampling order is (shot, wire), so the
     // aggregate is bit-identical however the pool schedules chunks.
+    // Noise draws use a salted per-shot stream, never the outcome
+    // stream, so an inactive channel changes nothing.
     std::vector<std::string> outcomes(options.shots);
+    std::vector<std::int32_t> lost(options.shots, 0);
     forEachShot(options.shots, result.threads, [&](int shot) {
         Rng rng(shotSeed(options.seed, shot));
         const PatternRunResult run =
@@ -68,11 +76,28 @@ StatevectorBackend::run(const ExecProgram &program,
             if (mr.outcome)
                 bits[w] = '1';
         }
+        if (channel->active()) {
+            Rng noise_rng(shotSeed(options.seed, shot) ^
+                          kNoiseStreamSalt);
+            lost[shot] = channel->sampleLoss(noise_rng);
+            if (lost[shot] == 0)
+                channel->applyFlips(noise_rng, bits);
+        }
         outcomes[shot] = std::move(bits);
     });
-    for (std::string &bits : outcomes)
-        ++result.counts[std::move(bits)];
-    result.completedShots = options.shots;
+    for (int shot = 0; shot < options.shots; ++shot) {
+        if (lost[shot] > 0) {
+            ++result.lostShots;
+            result.lostPhotons += lost[shot];
+            continue;
+        }
+        ++result.counts[std::move(outcomes[shot])];
+    }
+    result.completedShots = options.shots - result.lostShots;
+    if (channel->active())
+        result.notes.push_back("noise channel applied per shot (" +
+                               channel->description() +
+                               "); exact probabilities are noiseless");
 
     if (options.applyByproducts) {
         // Byproduct correction makes the output state deterministic

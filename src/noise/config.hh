@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Declarative description of a hardware error budget: an ordered
+ * list of named `ErrorMechanism` instantiations with per-mechanism
+ * parameter overrides. A `NoiseConfig` is pure data — it can be
+ * serialized (binary artifact kind `noise-config`, or JSON for
+ * human-edited files), embedded in cache keys and service frames,
+ * and turned into an executable `NoiseModel` by `buildNoiseModel`
+ * (noise/model.hh), which resolves each entry against the mechanism
+ * registry and rejects unknown mechanisms or parameters through the
+ * Status channel.
+ */
+
+#ifndef DCMBQC_NOISE_CONFIG_HH
+#define DCMBQC_NOISE_CONFIG_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcmbqc
+{
+
+/** One named, numeric mechanism parameter override. */
+struct NoiseParam
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/** One mechanism instantiation: registry name + overrides. */
+struct MechanismSpec
+{
+    /** Registry name ("delay-line", "connector", "fusion", ...). */
+    std::string mechanism;
+
+    /** Parameter overrides; unset parameters keep their defaults. */
+    std::vector<NoiseParam> params;
+};
+
+/** A full error budget: the mechanisms to charge, in order. */
+struct NoiseConfig
+{
+    std::vector<MechanismSpec> mechanisms;
+
+    bool empty() const { return mechanisms.empty(); }
+
+    /** Fluent helper: append one mechanism with overrides. */
+    NoiseConfig &
+    add(std::string mechanism, std::vector<NoiseParam> params = {})
+    {
+        MechanismSpec spec;
+        spec.mechanism = std::move(mechanism);
+        spec.params = std::move(params);
+        mechanisms.push_back(std::move(spec));
+        return *this;
+    }
+};
+
+bool operator==(const NoiseParam &a, const NoiseParam &b);
+bool operator==(const MechanismSpec &a, const MechanismSpec &b);
+bool operator==(const NoiseConfig &a, const NoiseConfig &b);
+
+inline bool
+operator!=(const NoiseConfig &a, const NoiseConfig &b)
+{
+    return !(a == b);
+}
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_NOISE_CONFIG_HH

@@ -1,0 +1,340 @@
+#include "noise/config_io.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "noise/model.hh"
+#include "serialize/artifact.hh"
+#include "serialize/codecs.hh"
+#include "serialize/json.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+/**
+ * Minimal schema-directed JSON reader. Not a general DOM: it walks
+ * the noise-config schema directly, skipping unknown members, and
+ * latches the first syntax error with its byte offset.
+ */
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(const std::string &text) : text_(text) {}
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    void
+    fail(const std::string &what)
+    {
+        if (status_.ok())
+            status_ = Status::invalidConfig(
+                "noise config JSON: " + what + " at byte " +
+                std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        fail(std::string("expected '") + c + "'");
+        return false;
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos_ >= text_.size();
+    }
+
+    std::string
+    parseString()
+    {
+        if (!consume('"'))
+            return "";
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  default:
+                    fail("unsupported string escape");
+                    return out;
+                }
+                continue;
+            }
+            out += c;
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double value = std::strtod(begin, &end);
+        if (end == begin) {
+            fail("expected a number");
+            return 0.0;
+        }
+        pos_ += static_cast<std::size_t>(end - begin);
+        return value;
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        skipWs();
+        std::size_t i = 0;
+        while (literal[i] != '\0') {
+            if (pos_ + i >= text_.size() ||
+                text_[pos_ + i] != literal[i])
+                return false;
+            ++i;
+        }
+        pos_ += i;
+        return true;
+    }
+
+    /** Skip one whole value of any type (unknown members). */
+    void
+    skipValue(int depth = 0)
+    {
+        if (depth > 32) {
+            fail("nesting too deep");
+            return;
+        }
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return;
+        }
+        const char c = text_[pos_];
+        if (c == '"') {
+            parseString();
+        } else if (c == '{') {
+            ++pos_;
+            if (peek('}')) {
+                consume('}');
+                return;
+            }
+            do {
+                parseString();
+                consume(':');
+                skipValue(depth + 1);
+            } while (ok() && consumeComma());
+            consume('}');
+        } else if (c == '[') {
+            ++pos_;
+            if (peek(']')) {
+                consume(']');
+                return;
+            }
+            do {
+                skipValue(depth + 1);
+            } while (ok() && consumeComma());
+            consume(']');
+        } else if (consumeLiteral("true") ||
+                   consumeLiteral("false") ||
+                   consumeLiteral("null")) {
+            return;
+        } else {
+            parseNumber();
+        }
+    }
+
+    /** Consume a ',' separator if present (no error when absent). */
+    bool
+    consumeComma()
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    Status status_;
+};
+
+MechanismSpec
+parseMechanismEntry(JsonCursor &cursor)
+{
+    MechanismSpec spec;
+    if (!cursor.consume('{'))
+        return spec;
+    if (cursor.peek('}')) {
+        cursor.consume('}');
+        cursor.fail("mechanism entry missing 'mechanism' member");
+        return spec;
+    }
+    do {
+        const std::string key = cursor.parseString();
+        if (!cursor.consume(':'))
+            return spec;
+        if (key == "mechanism") {
+            spec.mechanism = cursor.parseString();
+        } else if (key == "params") {
+            if (!cursor.consume('{'))
+                return spec;
+            if (cursor.peek('}')) {
+                cursor.consume('}');
+                continue;
+            }
+            do {
+                NoiseParam param;
+                param.name = cursor.parseString();
+                if (!cursor.consume(':'))
+                    return spec;
+                param.value = cursor.parseNumber();
+                spec.params.push_back(std::move(param));
+            } while (cursor.ok() && cursor.consumeComma());
+            cursor.consume('}');
+        } else {
+            cursor.skipValue();
+        }
+    } while (cursor.ok() && cursor.consumeComma());
+    cursor.consume('}');
+    if (cursor.ok() && spec.mechanism.empty())
+        cursor.fail("mechanism entry missing 'mechanism' member");
+    return spec;
+}
+
+} // namespace
+
+Expected<NoiseConfig>
+parseNoiseConfigJson(const std::string &text)
+{
+    JsonCursor cursor(text);
+    NoiseConfig config;
+    bool saw_mechanisms = false;
+
+    if (!cursor.consume('{'))
+        return cursor.status();
+    if (!cursor.peek('}')) {
+        do {
+            const std::string key = cursor.parseString();
+            if (!cursor.consume(':'))
+                return cursor.status();
+            if (key == "mechanisms") {
+                saw_mechanisms = true;
+                if (!cursor.consume('['))
+                    return cursor.status();
+                if (cursor.peek(']')) {
+                    cursor.consume(']');
+                    continue;
+                }
+                do {
+                    config.mechanisms.push_back(
+                        parseMechanismEntry(cursor));
+                } while (cursor.ok() && cursor.consumeComma());
+                cursor.consume(']');
+            } else {
+                cursor.skipValue();
+            }
+        } while (cursor.ok() && cursor.consumeComma());
+    }
+    cursor.consume('}');
+    if (cursor.ok() && !cursor.atEnd())
+        cursor.fail("trailing content after the config object");
+    if (!cursor.ok())
+        return cursor.status();
+    if (!saw_mechanisms)
+        return Status::invalidConfig(
+            "noise config JSON: missing 'mechanisms' array");
+    return config;
+}
+
+std::string
+toJson(const NoiseConfig &config)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("artifact").value("noise-config");
+    json.key("mechanisms").beginArray();
+    for (const MechanismSpec &spec : config.mechanisms) {
+        json.beginObject();
+        json.key("mechanism").value(spec.mechanism);
+        json.key("params").beginObject();
+        for (const NoiseParam &param : spec.params)
+            json.key(param.name).value(param.value);
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.take();
+}
+
+Expected<NoiseConfig>
+loadNoiseConfigFile(const std::string &path)
+{
+    auto bytes = loadArtifactFile(path);
+    if (!bytes.ok())
+        return bytes.status();
+
+    Expected<NoiseConfig> config = [&]() -> Expected<NoiseConfig> {
+        const bool binary = bytes->size() >= 4 && (*bytes)[0] == 'D' &&
+            (*bytes)[1] == 'C' && (*bytes)[2] == 'M' &&
+            (*bytes)[3] == 'B';
+        if (binary)
+            return decodeNoiseConfigArtifact(*bytes);
+        return parseNoiseConfigJson(
+            std::string(bytes->begin(), bytes->end()));
+    }();
+    if (!config.ok())
+        return config.status();
+
+    // Resolve against the registry now: a typoed mechanism fails at
+    // load time with the file path, not deep inside a pipeline.
+    auto model = buildNoiseModel(*config);
+    if (!model.ok())
+        return Status::invalidConfig(path + ": " +
+                                     model.status().message());
+    return config;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * File I/O for `NoiseConfig`: the binary artifact codec lives with
+ * the other codecs in serialize/codecs.hh; this header adds the
+ * human-editable JSON side — a schema-directed parser (the repo's
+ * only JSON *reader*; everything else interchange is binary), a
+ * JSON writer matching the other `toJson` pretty-printers, and a
+ * loader that sniffs the file format ("DCMB" envelope vs JSON
+ * text). Every malformed input comes back as InvalidConfig /
+ * InvalidArgument through the Status channel.
+ *
+ * JSON schema:
+ *
+ *   {
+ *     "artifact": "noise-config",          // optional, ignored
+ *     "mechanisms": [
+ *       { "mechanism": "connector",
+ *         "params": { "insertion_loss_db": 1.5 } },
+ *       { "mechanism": "fusion" }          // params optional
+ *     ]
+ *   }
+ */
+
+#ifndef DCMBQC_NOISE_CONFIG_IO_HH
+#define DCMBQC_NOISE_CONFIG_IO_HH
+
+#include <string>
+
+#include "api/status.hh"
+#include "noise/config.hh"
+
+namespace dcmbqc
+{
+
+/** Parse the JSON schema above. Rejects malformed or foreign JSON. */
+Expected<NoiseConfig> parseNoiseConfigJson(const std::string &text);
+
+/** Pretty-print a config in the schema above (round-trips). */
+std::string toJson(const NoiseConfig &config);
+
+/**
+ * Load a config from a file: "DCMB"-magic files decode as binary
+ * noise-config artifacts, everything else parses as JSON. The
+ * loaded config is resolved against the mechanism registry
+ * (buildNoiseModel), so unknown mechanisms and bad parameters are
+ * rejected here, not deep inside a compile or an execution.
+ */
+Expected<NoiseConfig> loadNoiseConfigFile(const std::string &path);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_NOISE_CONFIG_IO_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The `ErrorMechanism` interface and its registry — the pluggable
+ * hardware-error subsystem (ROADMAP item 3, mirroring the oldspot
+ * FailureMechanism registry shape for photonics).
+ *
+ * One mechanism models one physical error source as survival
+ * probabilities over the exposure a compiled program gives each
+ * photon (`NoiseSite`) and each fusion attempt (`NoiseEdge`), plus
+ * an optional correlated per-shot sampling hook for mechanisms that
+ * cannot be factored into independent per-site terms. Mechanisms are
+ * parameterized by named doubles so they can be configured from
+ * files (`NoiseConfig`); unknown parameter names are rejected
+ * through the Status channel.
+ *
+ * The registry maps mechanism names to factories. The five built-in
+ * mechanisms (delay-line, connector, fusion, correlated-burst,
+ * depolarizing) are registered on first use; `registerNoiseMechanism`
+ * is the plug-in seam for additional ones.
+ */
+
+#ifndef DCMBQC_NOISE_MECHANISM_HH
+#define DCMBQC_NOISE_MECHANISM_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/status.hh"
+#include "common/rng.hh"
+#include "noise/config.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Per-photon exposure of one site under a compiled program: how
+ * long the photon sits in a delay line, whether it feeds a
+ * connector, and the program size (for mechanisms whose analytic
+ * per-site factor depends on the number of photons at risk).
+ */
+struct NoiseSite
+{
+    /** Intra-QPU delay-line storage (cycles): fusee + measuree wait. */
+    int storageCycles = 0;
+
+    /**
+     * Connector-side storage (cycles): how long the photon waits for
+     * the connection layer re-establishing its cut edge(s). Zero for
+     * photons with no cut edge.
+     */
+    int remoteStorageCycles = 0;
+
+    /** The photon is an endpoint of at least one cut edge. */
+    bool connector = false;
+
+    /** The photon is measured (not a bare output wire). */
+    bool measured = true;
+
+    /** Total photons in the program (burst-style mechanisms). */
+    int totalSites = 0;
+};
+
+/** Exposure of one fusion attempt. */
+struct NoiseEdge
+{
+    /** Cut edge re-established through a connector fusion. */
+    bool remote = false;
+};
+
+/**
+ * One physical error source. Implementations are cheap value-like
+ * objects: a factory produces a default-parameterized instance, and
+ * `set` applies config overrides. All probability queries must be
+ * pure and thread-safe.
+ */
+class ErrorMechanism
+{
+  public:
+    virtual ~ErrorMechanism() = default;
+
+    /** Stable registry name ("delay-line", ...). */
+    virtual const char *name() const = 0;
+
+    /** Survival probability of one photon under this mechanism. */
+    virtual double
+    siteSurvival(const NoiseSite &site) const
+    {
+        (void)site;
+        return 1.0;
+    }
+
+    /** Survival probability of one fusion attempt. */
+    virtual double
+    edgeSurvival(const NoiseEdge &edge) const
+    {
+        (void)edge;
+        return 1.0;
+    }
+
+    /**
+     * Outcome bit-flip probability charged per measured output wire
+     * by the simulator backends (depolarizing-style mechanisms).
+     */
+    virtual double flipProbability() const { return 0.0; }
+
+    /**
+     * Correlated mechanisms only: mark additional lost photons for
+     * one shot directly (e.g. a loss burst spanning consecutive
+     * photons). `lost` has one flag per site; the hook may only set
+     * flags, never clear them. Draw counts must depend only on the
+     * mechanism parameters and `sites`, never on previous outcomes
+     * of other mechanisms, so shot streams stay reproducible.
+     */
+    virtual void
+    sampleCorrelated(const std::vector<NoiseSite> &sites, Rng &rng,
+                     std::vector<char> &lost) const
+    {
+        (void)sites;
+        (void)rng;
+        (void)lost;
+    }
+
+    /** True when this mechanism has a sampleCorrelated hook. */
+    virtual bool correlated() const { return false; }
+
+    /** True when every probability this mechanism charges is zero. */
+    virtual bool vacuous() const = 0;
+
+    /** Current parameters, in a stable order (serialization). */
+    virtual std::vector<NoiseParam> params() const = 0;
+
+    /** Override one parameter; unknown names are InvalidConfig. */
+    virtual Status set(const std::string &param, double value) = 0;
+
+    /** Check every parameter against its documented domain. */
+    virtual Status validate() const = 0;
+};
+
+/** Factory of default-parameterized instances of one mechanism. */
+using NoiseMechanismFactory =
+    std::function<std::unique_ptr<ErrorMechanism>()>;
+
+/**
+ * Instantiate a mechanism by registry name with default parameters;
+ * null when the name is unknown. Built-ins are registered on first
+ * use.
+ */
+std::unique_ptr<ErrorMechanism>
+makeNoiseMechanism(const std::string &name);
+
+/** True when `name` resolves in the registry. */
+bool isKnownNoiseMechanism(const std::string &name);
+
+/** Registry names in registration order. */
+std::vector<std::string> noiseMechanismNames();
+
+/**
+ * Register an additional mechanism (plug-in seam; the built-ins
+ * need no call). Rejects empty names, null factories, and
+ * duplicates.
+ */
+Status registerNoiseMechanism(const std::string &name,
+                              NoiseMechanismFactory factory);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_NOISE_MECHANISM_HH

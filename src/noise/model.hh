@@ -1,0 +1,92 @@
+/**
+ * @file
+ * `NoiseModel`: a `NoiseConfig` resolved against the mechanism
+ * registry into executable form. The model is the single error
+ * budget both sides of the toolchain consume: the execution
+ * backends sample it shot by shot, and the compiler's cost model
+ * (partition selection, BDIR refinement, analytic loss analysis)
+ * scores candidates by the same composite survival.
+ */
+
+#ifndef DCMBQC_NOISE_MODEL_HH
+#define DCMBQC_NOISE_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/status.hh"
+#include "common/rng.hh"
+#include "noise/config.hh"
+#include "noise/mechanism.hh"
+
+namespace dcmbqc
+{
+
+/** An executable error budget: configured mechanisms, composed. */
+class NoiseModel
+{
+  public:
+    NoiseModel() = default;
+    NoiseModel(NoiseModel &&) = default;
+    NoiseModel &operator=(NoiseModel &&) = default;
+
+    /** Configured mechanisms, in config order. */
+    const std::vector<std::unique_ptr<ErrorMechanism>> &
+    mechanisms() const
+    {
+        return mechanisms_;
+    }
+
+    /** Composite survival of one photon (product over mechanisms). */
+    double siteSurvival(const NoiseSite &site) const;
+
+    /** Composite survival of one fusion attempt. */
+    double edgeSurvival(const NoiseEdge &edge) const;
+
+    /**
+     * Composite outcome-flip probability per measured output wire:
+     * 1 - prod(1 - p_i), the probability an odd number of flips is
+     * approximated by at least one flip (exact for one mechanism).
+     */
+    double flipProbability() const;
+
+    /** Run every correlated mechanism's per-shot hook, in order. */
+    void sampleCorrelated(const std::vector<NoiseSite> &sites,
+                          Rng &rng, std::vector<char> &lost) const;
+
+    /** True when every mechanism is a no-op (zero noise). */
+    bool vacuous() const;
+
+    /** True when any non-vacuous mechanism samples correlated loss. */
+    bool hasCorrelated() const;
+
+    /** "delay-line+connector+fusion" — for notes and stage lines. */
+    std::string describe() const;
+
+  private:
+    friend Expected<NoiseModel> buildNoiseModel(const NoiseConfig &);
+
+    std::vector<std::unique_ptr<ErrorMechanism>> mechanisms_;
+};
+
+/**
+ * Resolve a config against the registry: instantiate each mechanism,
+ * apply its parameter overrides, and validate. Unknown mechanism
+ * names, unknown parameters, and out-of-domain values come back as
+ * InvalidConfig.
+ */
+Expected<NoiseModel> buildNoiseModel(const NoiseConfig &config);
+
+/**
+ * True when the config builds into a non-vacuous model — i.e. when
+ * it must be part of a compile's cache identity. Zero-noise configs
+ * (empty, or every mechanism a no-op) return false, so they alias
+ * the noise-free cache keys by design. Invalid configs also return
+ * false; the compile path itself reports the error.
+ */
+bool noiseAffectsCompile(const NoiseConfig &config);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_NOISE_MODEL_HH

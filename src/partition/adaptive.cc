@@ -1,8 +1,10 @@
 #include "partition/adaptive.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
+#include "noise/analysis.hh"
 #include "partition/modularity.hh"
 #include "partition/multilevel.hh"
 
@@ -10,7 +12,8 @@ namespace dcmbqc
 {
 
 AdaptiveResult
-adaptivePartition(const Graph &g, const AdaptiveConfig &config)
+adaptivePartition(const Graph &g, const AdaptiveConfig &config,
+                  const NoiseModel *noise)
 {
     DCMBQC_ASSERT(config.k >= 1, "adaptivePartition: k >= 1 required");
     DCMBQC_ASSERT(config.gamma > 1.0, "gamma must exceed 1");
@@ -20,6 +23,12 @@ adaptivePartition(const Graph &g, const AdaptiveConfig &config)
 
     double alpha = 1.0;
     double q_best = -1.0;
+    // Selection score of the best candidate so far: modularity when
+    // noise-blind, static log survival when noise-aware. The alpha
+    // adaptation below reads modularity deltas only, so the probe
+    // trajectory — and with it the candidate set — is identical
+    // either way.
+    double score_best = noise ? -HUGE_VAL : -1.0;
     double previous_q = -1.0;
 
     for (int iter = 0; iter < config.maxIterations; ++iter) {
@@ -31,10 +40,15 @@ adaptivePartition(const Graph &g, const AdaptiveConfig &config)
         const double q = modularity(g, p);
         ++result.probes;
 
-        if (q > q_best) {
+        const double score =
+            noise ? partitionLogSurvival(g, p, *noise) : q;
+        if (score > score_best) {
+            score_best = score;
             q_best = q;
             result.best = p;
             result.alphaAtBest = alpha;
+            if (noise)
+                result.noiseLogSurvival = score;
         }
 
         const double delta_q = q - previous_q;

@@ -20,6 +20,8 @@
 namespace dcmbqc
 {
 
+class NoiseModel;
+
 /** Parameters of Algorithm 2 (paper defaults in Section V-A). */
 struct AdaptiveConfig
 {
@@ -57,16 +59,32 @@ struct AdaptiveResult
 
     /** Number of Partition(G, alpha) probes performed. */
     int probes = 0;
+
+    /**
+     * Static noise survival (log) of the best partition; only
+     * meaningful when a noise model drove the selection.
+     */
+    double noiseLogSurvival = 0.0;
 };
 
 /**
  * Run Algorithm 2: adaptive graph partitioning.
  *
+ * With a noise model, the probe trajectory (which alphas are tried,
+ * driven purely by modularity deltas) is unchanged, but the *best*
+ * candidate is selected by static noise survival
+ * (`partitionLogSurvival`) instead of modularity — so over the same
+ * candidate set the noise-aware choice never survives worse than the
+ * noise-blind one. Without a model, behavior is bit-identical to the
+ * noise-free algorithm.
+ *
  * @param g The computation graph (nodes = resource units).
+ * @param noise Optional noise model driving candidate selection.
  * @return Best partition found with diagnostics.
  */
 AdaptiveResult adaptivePartition(const Graph &g,
-                                 const AdaptiveConfig &config = {});
+                                 const AdaptiveConfig &config = {},
+                                 const NoiseModel *noise = nullptr);
 
 } // namespace dcmbqc
 

@@ -18,7 +18,7 @@ bool
 knownKind(std::uint16_t kind)
 {
     return kind >= static_cast<std::uint16_t>(ArtifactKind::Circuit) &&
-        kind <= static_cast<std::uint16_t>(ArtifactKind::ExecResult);
+        kind <= static_cast<std::uint16_t>(ArtifactKind::NoiseConfig);
 }
 
 } // namespace
@@ -36,6 +36,7 @@ artifactKindName(ArtifactKind kind)
       case ArtifactKind::Schedule: return "schedule";
       case ArtifactKind::CompileReport: return "compile-report";
       case ArtifactKind::ExecResult: return "exec-result";
+      case ArtifactKind::NoiseConfig: return "noise-config";
     }
     return "?";
 }

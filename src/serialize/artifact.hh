@@ -43,6 +43,7 @@ enum class ArtifactKind : std::uint16_t
     Schedule = 7,
     CompileReport = 8,
     ExecResult = 9,
+    NoiseConfig = 10,
 };
 
 /** Stable display name of an artifact kind ("circuit", ...). */

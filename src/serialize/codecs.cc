@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "noise/mechanism.hh"
+
 namespace dcmbqc
 {
 
@@ -891,6 +893,48 @@ decodeExecResult(BinaryReader &reader)
     return result;
 }
 
+// --- NoiseConfig -----------------------------------------------------------
+
+void
+encodeNoiseConfig(BinaryWriter &writer, const NoiseConfig &config)
+{
+    writer.writeU32(
+        static_cast<std::uint32_t>(config.mechanisms.size()));
+    for (const MechanismSpec &spec : config.mechanisms) {
+        writer.writeString(spec.mechanism);
+        writer.writeU32(static_cast<std::uint32_t>(spec.params.size()));
+        for (const NoiseParam &param : spec.params) {
+            writer.writeString(param.name);
+            writer.writeF64(param.value);
+        }
+    }
+}
+
+NoiseConfig
+decodeNoiseConfig(BinaryReader &reader)
+{
+    NoiseConfig config;
+    const std::uint32_t mechanisms = reader.readCount(8);
+    for (std::uint32_t i = 0; i < mechanisms && reader.ok(); ++i) {
+        MechanismSpec spec;
+        spec.mechanism = reader.readString();
+        if (reader.ok() && !isKnownNoiseMechanism(spec.mechanism)) {
+            reader.fail("unknown noise mechanism '" + spec.mechanism +
+                        "' in noise-config artifact");
+            break;
+        }
+        const std::uint32_t params = reader.readCount(12);
+        for (std::uint32_t j = 0; j < params && reader.ok(); ++j) {
+            NoiseParam param;
+            param.name = reader.readString();
+            param.value = reader.readF64();
+            spec.params.push_back(std::move(param));
+        }
+        config.mechanisms.push_back(std::move(spec));
+    }
+    return config;
+}
+
 // --- Artifact wrappers -----------------------------------------------------
 
 std::vector<std::uint8_t>
@@ -1028,6 +1072,22 @@ decodeExecResultArtifact(const std::vector<std::uint8_t> &bytes)
 {
     return decodeArtifactAs<ExecResult>(ArtifactKind::ExecResult,
                                         bytes, decodeExecResult);
+}
+
+std::vector<std::uint8_t>
+encodeNoiseConfigArtifact(const NoiseConfig &config)
+{
+    return sealPayload(ArtifactKind::NoiseConfig,
+                       [&](BinaryWriter &w) {
+                           encodeNoiseConfig(w, config);
+                       });
+}
+
+Expected<NoiseConfig>
+decodeNoiseConfigArtifact(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeArtifactAs<NoiseConfig>(ArtifactKind::NoiseConfig,
+                                         bytes, decodeNoiseConfig);
 }
 
 } // namespace dcmbqc

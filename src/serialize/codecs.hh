@@ -32,6 +32,7 @@
 #include "graph/digraph.hh"
 #include "graph/graph.hh"
 #include "mbqc/pattern.hh"
+#include "noise/config.hh"
 #include "serialize/artifact.hh"
 #include "serialize/binary.hh"
 
@@ -74,6 +75,14 @@ CompileReport decodeCompileReport(BinaryReader &reader);
 
 void encodeExecResult(BinaryWriter &writer, const ExecResult &result);
 ExecResult decodeExecResult(BinaryReader &reader);
+
+/**
+ * Mechanism names are checked against the noise registry on decode,
+ * so an artifact naming a mechanism this build does not provide is
+ * rejected structurally, not deferred to buildNoiseModel.
+ */
+void encodeNoiseConfig(BinaryWriter &writer, const NoiseConfig &config);
+NoiseConfig decodeNoiseConfig(BinaryReader &reader);
 
 // --- Artifact wrappers -----------------------------------------------------
 
@@ -118,6 +127,11 @@ std::vector<std::uint8_t>
 encodeExecResultArtifact(const ExecResult &result);
 Expected<ExecResult>
 decodeExecResultArtifact(const std::vector<std::uint8_t> &bytes);
+
+std::vector<std::uint8_t>
+encodeNoiseConfigArtifact(const NoiseConfig &config);
+Expected<NoiseConfig>
+decodeNoiseConfigArtifact(const std::vector<std::uint8_t> &bytes);
 
 } // namespace dcmbqc
 

@@ -13,6 +13,7 @@
 
 #include "api/options.hh"
 #include "cache/cache_key.hh"
+#include "noise/model.hh"
 #include "serialize/codecs.hh"
 
 namespace dcmbqc
@@ -241,8 +242,11 @@ ServiceClient::compileCached(
     auto normalized = options.build();
     if (!normalized.ok())
         return compile(job, on_progress);
-    const CacheKeyPair key =
-        computeCacheKey(*job.request, *normalized, job.baseline);
+    const NoiseConfig *key_noise =
+        job.noise && noiseAffectsCompile(*job.noise) ? &*job.noise
+                                                     : nullptr;
+    const CacheKeyPair key = computeCacheKey(
+        *job.request, *normalized, job.baseline, key_noise);
 
     CacheProbe probe;
     probe.key = key.key;

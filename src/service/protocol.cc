@@ -67,6 +67,30 @@ readStatus(BinaryReader &reader)
     return Status::internal(std::move(message));
 }
 
+/** Presence-flagged optional NoiseConfig (shared by job + options). */
+void
+writeOptionalNoise(BinaryWriter &writer,
+                   const std::optional<NoiseConfig> &noise)
+{
+    writer.writeU8(noise ? 1 : 0);
+    if (noise)
+        encodeNoiseConfig(writer, *noise);
+}
+
+std::optional<NoiseConfig>
+readOptionalNoise(BinaryReader &reader)
+{
+    const std::uint8_t present = reader.readU8();
+    if (present > 1) {
+        reader.fail("invalid noise presence flag " +
+                    std::to_string(present));
+        return std::nullopt;
+    }
+    if (present == 0)
+        return std::nullopt;
+    return decodeNoiseConfig(reader);
+}
+
 void
 writeExecOptions(BinaryWriter &writer, const ExecOptions &options)
 {
@@ -78,6 +102,7 @@ writeExecOptions(BinaryWriter &writer, const ExecOptions &options)
     writer.writeF64(options.lossModel.attenuationDbPerKm);
     writer.writeF64(options.lossModel.cyclePeriodNs);
     writer.writeF64(options.lossModel.speedFraction);
+    writeOptionalNoise(writer, options.noise);
 }
 
 ExecOptions
@@ -96,6 +121,7 @@ readExecOptions(BinaryReader &reader)
     options.lossModel.attenuationDbPerKm = reader.readF64();
     options.lossModel.cyclePeriodNs = reader.readF64();
     options.lossModel.speedFraction = reader.readF64();
+    options.noise = readOptionalNoise(reader);
     return options;
 }
 
@@ -318,6 +344,7 @@ encodeServiceJob(const ServiceJob &job)
     writer.writeU32(static_cast<std::uint32_t>(job.backends.size()));
     for (const ExecOptions &backend : job.backends)
         writeExecOptions(writer, backend);
+    writeOptionalNoise(writer, job.noise);
     return writer.take();
 }
 
@@ -374,6 +401,7 @@ decodeServiceJob(const std::vector<std::uint8_t> &bytes)
     const std::uint32_t backends = reader.readCount(1);
     for (std::uint32_t i = 0; i < backends && reader.ok(); ++i)
         job.backends.push_back(readExecOptions(reader));
+    job.noise = readOptionalNoise(reader);
 
     if (!reader.ok())
         return reader.status();

@@ -37,12 +37,17 @@
 #include "cache/compile_cache.hh"
 #include "core/pipeline.hh"
 #include "exec/options.hh"
+#include "noise/config.hh"
 
 namespace dcmbqc
 {
 
-/** Current service protocol version. */
-inline constexpr std::uint16_t serviceProtocolVersion = 1;
+/**
+ * Current service protocol version. v2 added the optional NoiseConfig
+ * passenger to ServiceJob and to every embedded ExecOptions; frames
+ * from v1 peers are rejected at the header (no silent re-parse).
+ */
+inline constexpr std::uint16_t serviceProtocolVersion = 2;
 
 /** Hard ceiling on a frame payload (guards allocation bombs). */
 inline constexpr std::size_t serviceMaxFramePayload =
@@ -172,6 +177,15 @@ struct ServiceJob
 
     /** Backends to execute on after compiling; empty = compile only. */
     std::vector<ExecOptions> backends;
+
+    /**
+     * Noise configuration applied to the whole job: a non-vacuous
+     * config steers the compiler's cost model (and is part of the
+     * job's cache identity) and is installed as the default noise
+     * channel of every backend in `backends` that does not carry its
+     * own. Absent = noise-free job.
+     */
+    std::optional<NoiseConfig> noise;
 };
 
 std::vector<std::uint8_t> encodeServiceJob(const ServiceJob &job);

@@ -12,6 +12,7 @@
 #include "api/driver.hh"
 #include "api/options.hh"
 #include "cache/cache_key.hh"
+#include "noise/model.hh"
 #include "serialize/artifact.hh"
 #include "serialize/codecs.hh"
 
@@ -426,8 +427,14 @@ ServiceServer::tryHotReply(
     auto normalized = options.build();
     if (!normalized.ok())
         return false;
-    const CacheKeyPair key =
-        computeCacheKey(*job.request, *normalized, job.baseline);
+    // Same gate as the driver: only a compile-affecting noise config
+    // enters the key, so noise-free and vacuous jobs stay hot-
+    // servable under their pre-noise addresses.
+    const NoiseConfig *key_noise =
+        job.noise && noiseAffectsCompile(*job.noise) ? &*job.noise
+                                                     : nullptr;
+    const CacheKeyPair key = computeCacheKey(
+        *job.request, *normalized, job.baseline, key_noise);
     return serveHot(fd, key.key, key.verifier, received,
                     /*count_request=*/false);
 }
@@ -517,16 +524,25 @@ ServiceServer::handleCompile(int fd,
         CompileOptions options =
             CompileOptions::fromConfig(job.config);
         options.cache(cache_);
+        std::vector<ExecOptions> backends = job.backends;
+        if (job.noise) {
+            options.noise(*job.noise);
+            // Job-level noise is the default channel of every
+            // backend; a backend carrying its own config keeps it.
+            for (ExecOptions &backend : backends)
+                if (!backend.noise)
+                    backend.noise = *job.noise;
+        }
         CompilerDriver driver(options);
         ProgressStreamObserver progress(fd);
         if (job.streamProgress)
             driver.addObserver(&progress);
         CompileRequest request = *job.request;
         request.withCancellation(&token);
-        Expected<CompileReport> result = job.backends.empty()
+        Expected<CompileReport> result = backends.empty()
             ? (job.baseline ? driver.compileBaseline(request)
                             : driver.compile(request))
-            : driver.compileAndExecute(request, job.backends);
+            : driver.compileAndExecute(request, backends);
         std::lock_guard<std::mutex> lock(state->mutex);
         state->result = std::move(result);
         state->finished = true;

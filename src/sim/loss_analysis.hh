@@ -58,8 +58,9 @@ LossAnalysis analyzeLoss(const Graph &fusee_edges, const Digraph &deps,
  * Monte-Carlo estimate of the success probability (each photon
  * independently survives its storage with the model's probability);
  * converges to LossAnalysis::successProbability and exists to
- * cross-check the analytic product and to support future correlated
- * loss models.
+ * cross-check the analytic product. Correlated loss (and the other
+ * pluggable mechanisms) live in src/noise/; this stays the
+ * single-mechanism reference path.
  */
 double sampleSuccessProbability(const LossAnalysis &analysis,
                                 const LossModel &model, Rng &rng,

@@ -36,6 +36,7 @@
 #include "cache/compile_cache.hh"
 #include "circuit/generators.hh"
 #include "common/table.hh"
+#include "noise/config_io.hh"
 #include "photonic/grid.hh"
 #include "photonic/resource_state.hh"
 #include "serialize/codecs.hh"
@@ -61,6 +62,7 @@ usage()
         "                 [--seed S] [--pl-ratio R] [--resource-state "
         "ring4|star5|ring6|star7]\n"
         "                 [--no-bdir] [--baseline] [--label NAME]\n"
+        "                 [--noise NOISE.json|.dcmbqc]\n"
         "                 [--cache-dir DIR] [--save-circuit "
         "FILE.dcmbqc] [--quiet]\n"
         "                 [--daemon SOCK [--autostart] "
@@ -73,6 +75,8 @@ usage()
         "                 [--cycle-ns X] [--qpus N] [--grid L] "
         "[--kmax K]\n"
         "                 [--seed S] [--pl-ratio R] [--no-bdir] "
+        "[--baseline]\n"
+        "                 [--noise NOISE.json|.dcmbqc] "
         "[--cache-dir DIR]\n"
         "                 [-o REPORT.dcmbqc] [--quiet]\n"
         "                 [--daemon SOCK [--autostart] "
@@ -241,7 +245,7 @@ int
 runCompile(const std::vector<std::string> &args)
 {
     std::string family, circuit_in, out_path, label, cache_dir;
-    std::string save_circuit;
+    std::string save_circuit, noise_path;
     int qubits = 0, qpus = 4, grid = 0, kmax = 4, pl_ratio = 0;
     std::uint64_t seed = 1;
     ResourceStateType state = ResourceStateType::Star5;
@@ -282,6 +286,10 @@ runCompile(const std::vector<std::string> &args)
             const char *v = next("--save-circuit");
             if (!v) return 2;
             save_circuit = v;
+        } else if (arg == "--noise") {
+            const char *v = next("--noise");
+            if (!v) return 2;
+            noise_path = v;
         } else if (arg == "--resource-state") {
             const char *v = next("--resource-state");
             if (!v) return 2;
@@ -376,6 +384,14 @@ runCompile(const std::vector<std::string> &args)
                         save_circuit.c_str());
     }
 
+    std::optional<NoiseConfig> noise;
+    if (!noise_path.empty()) {
+        auto loaded = loadNoiseConfigFile(noise_path);
+        if (!loaded.ok())
+            return fail(loaded.status());
+        noise = std::move(loaded.value());
+    }
+
     CompileOptions options;
     options.numQpus(baseline ? 1 : qpus)
         .kmax(kmax)
@@ -386,6 +402,8 @@ runCompile(const std::vector<std::string> &args)
         .seed(seed);
     if (pl_ratio > 0)
         options.plRatio(pl_ratio);
+    if (noise)
+        options.noise(*noise);
     std::shared_ptr<CompileCache> cache;
     if (!cache_dir.empty() && daemon.socket.empty()) {
         CacheConfig cache_config;
@@ -410,6 +428,7 @@ runCompile(const std::vector<std::string> &args)
             ? static_cast<std::uint32_t>(daemon.deadlineMillis)
             : 0;
         job.streamProgress = daemon.progress;
+        job.noise = noise;
 
         ServiceClient client;
         const Status connected =
@@ -568,6 +587,7 @@ int
 runRun(const std::vector<std::string> &args)
 {
     std::string artifact_path, backend = "all", out_path, cache_dir;
+    std::string noise_path;
     int shots = 256, threads = 0;
     int qpus = 4, grid = 0, kmax = 4, pl_ratio = 0;
     std::uint64_t seed = 1;
@@ -575,6 +595,7 @@ runRun(const std::vector<std::string> &args)
     bool exec_seed_set = false;
     double cycle_ns = 1.0;
     bool use_bdir = true, raw = false, quiet = false;
+    bool baseline = false;
     DaemonOptions daemon;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -630,8 +651,14 @@ runRun(const std::vector<std::string> &args)
                              v);
                 return 2;
             }
+        } else if (arg == "--noise") {
+            const char *v = next("--noise");
+            if (!v) return 2;
+            noise_path = v;
         } else if (arg == "--no-bdir") {
             use_bdir = false;
+        } else if (arg == "--baseline") {
+            baseline = true;
         } else if (arg == "--raw") {
             raw = true;
         } else if (arg == "--quiet") {
@@ -714,8 +741,16 @@ runRun(const std::vector<std::string> &args)
     }
     request->withLabel(artifact_path);
 
+    std::optional<NoiseConfig> noise;
+    if (!noise_path.empty()) {
+        auto loaded = loadNoiseConfigFile(noise_path);
+        if (!loaded.ok())
+            return fail(loaded.status());
+        noise = std::move(loaded.value());
+    }
+
     CompileOptions options;
-    options.numQpus(qpus)
+    options.numQpus(baseline ? 1 : qpus)
         .kmax(kmax)
         .gridSize(grid > 0 ? grid
                            : gridSizeForQubits(default_grid_qubits))
@@ -723,6 +758,8 @@ runRun(const std::vector<std::string> &args)
         .seed(seed);
     if (pl_ratio > 0)
         options.plRatio(pl_ratio);
+    if (noise)
+        options.noise(*noise);
     std::shared_ptr<CompileCache> cache;
     if (!cache_dir.empty() && daemon.socket.empty()) {
         CacheConfig cache_config;
@@ -737,6 +774,11 @@ runRun(const std::vector<std::string> &args)
     // FailedPrecondition; the others still run). Only the first job
     // pays the pipeline — the rest hit the daemon's shared cache.
     if (!daemon.socket.empty()) {
+        // The daemon's baseline jobs are compile-only by protocol
+        // contract; a baseline execution must run in-process.
+        if (baseline)
+            return fail(Status::invalidArgument(
+                "run --baseline executes in-process; drop --daemon"));
         auto config = options.build();
         if (!config.ok())
             return fail(config.status());
@@ -774,6 +816,7 @@ runRun(const std::vector<std::string> &args)
                 : 0;
             job.streamProgress = daemon.progress && !merged;
             job.backends = {exec};
+            job.noise = noise;
             auto served = daemonCompile(client, job, quiet);
             if (!served.ok()) {
                 if (run_all &&
@@ -828,21 +871,29 @@ runRun(const std::vector<std::string> &args)
     }
 
     const CompilerDriver driver(options);
-    auto compiled = driver.compile(*request);
+    auto compiled = baseline ? driver.compileBaseline(*request)
+                             : driver.compile(*request);
     if (!compiled.ok())
         return fail(compiled.status());
     CompileReport report = std::move(compiled.value());
     if (!quiet)
-        std::printf("compiled %s: %s, execution time %d cycles, "
+        std::printf("compiled %s (%s): %s, execution time %d cycles, "
                     "required lifetime %d cycles\n",
                     report.label.c_str(),
+                    baseline ? "baseline" : "distributed",
                     report.cacheHit ? "cache hit" : "full pipeline",
-                    report.result().executionTime(),
-                    report.result().requiredLifetime());
+                    baseline
+                        ? report.baselineResult().executionTime()
+                        : report.result().executionTime(),
+                    baseline
+                        ? report.baselineResult().requiredLifetime()
+                        : report.result().requiredLifetime());
 
-    const ExecProgram program =
-        ExecProgram::fromRequest(*request).withSchedule(
-            report.result());
+    const ExecProgram program = baseline
+        ? ExecProgram::fromRequest(*request).withBaseline(
+              report.baselineResult())
+        : ExecProgram::fromRequest(*request).withSchedule(
+              report.result());
 
     const bool run_all = backend == "all";
     const std::vector<std::string> selected =
@@ -853,6 +904,7 @@ runRun(const std::vector<std::string> &args)
     exec.numThreads = threads;
     exec.applyByproducts = !raw;
     exec.lossModel.cyclePeriodNs = cycle_ns;
+    exec.noise = noise;
     // The compile seed doubles as the execution seed unless
     // overridden (clamped into the signed domain validate() checks).
     exec.seed = exec_seed_set
@@ -972,6 +1024,13 @@ runInspect(const std::string &path)
       }
       case ArtifactKind::ExecResult: {
         auto decoded = decodeExecResultArtifact(*bytes);
+        if (!decoded.ok())
+            return fail(decoded.status());
+        json = toJson(*decoded);
+        break;
+      }
+      case ArtifactKind::NoiseConfig: {
+        auto decoded = decodeNoiseConfigArtifact(*bytes);
         if (!decoded.ok())
             return fail(decoded.status());
         json = toJson(*decoded);
