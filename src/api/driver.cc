@@ -11,6 +11,7 @@
 #include "api/passes.hh"
 #include "api/thread_pool.hh"
 #include "cache/cache_key.hh"
+#include "portfolio/racer.hh"
 #include "cache/compile_cache.hh"
 #include "exec/backend.hh"
 #include "noise/model.hh"
@@ -144,6 +145,34 @@ CompilerDriver::addObserver(PassObserver *observer)
 Expected<CompileReport>
 CompilerDriver::compile(const CompileRequest &request) const
 {
+    if (options_.portfolioCandidates() > 1) {
+        RaceConfig config;
+        config.candidates = options_.portfolioCandidates();
+        PortfolioRacer racer(options_, config);
+        auto outcome = racer.race(request);
+        if (!outcome.ok())
+            return outcome.status();
+        CompileReport report = std::move(outcome->report);
+        // The race's wall-clock beyond the winner's own pipeline is
+        // the portfolio overhead (losers + scoring); surfacing it
+        // as a stage keeps totalMillis ~= observed wall time and
+        // feeds the service's per-stage aggregates.
+        StageReport stage;
+        stage.pass = "Portfolio";
+        stage.millis = std::max(
+            0.0, outcome->race.raceMillis - report.totalMillis);
+        stage.note =
+            std::to_string(outcome->race.requested) +
+            " strategies raced, winner: " +
+            outcome->race
+                .candidates[static_cast<std::size_t>(
+                    outcome->race.winnerIndex)]
+                .strategy;
+        report.totalMillis += stage.millis;
+        report.stages.push_back(std::move(stage));
+        report.portfolio = std::move(outcome->race);
+        return report;
+    }
     return compileImpl(request, /*baseline=*/false);
 }
 

@@ -32,6 +32,7 @@
 #include "exec/options.hh"
 #include "exec/program.hh"
 #include "exec/result.hh"
+#include "portfolio/report.hh"
 
 namespace dcmbqc
 {
@@ -97,6 +98,14 @@ struct CompileReport
      * interaction; absent when the driver ran without a cache.
      */
     std::optional<CacheStats> cacheStats;
+
+    /**
+     * Race table of a portfolio compile (`CompileOptions::
+     * portfolio(K)` with K > 1): one entry per raced strategy plus
+     * the winner index. The rest of this report is the *winning
+     * candidate's* report. Absent for K=1 compiles.
+     */
+    std::optional<PortfolioReport> portfolio;
 
     /**
      * One entry per backend run by `compileAndExecute`, in request

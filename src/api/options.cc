@@ -151,6 +151,13 @@ CompileOptions::noise(NoiseConfig config)
     return *this;
 }
 
+CompileOptions &
+CompileOptions::portfolio(int candidates)
+{
+    portfolio_ = candidates;
+    return *this;
+}
+
 Status
 CompileOptions::validate() const
 {
@@ -197,6 +204,9 @@ CompileOptions::validate() const
         complain("BDIR cooling rate must lie in (0, 1)");
     if (config_.bdir.maxIterations < 0)
         complain("BDIR maxIterations must be >= 0");
+    if (portfolio_ < 1 || portfolio_ > 64)
+        complain("portfolio candidates must lie in [1, 64] (got " +
+                 std::to_string(portfolio_) + ")");
     if (noise_) {
         const auto model = buildNoiseModel(*noise_);
         if (!model.ok())

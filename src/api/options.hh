@@ -111,6 +111,24 @@ class CompileOptions
     }
 
     /**
+     * Race `candidates` compile strategies and keep the best
+     * schedule. 1 (the default) compiles the configured strategy
+     * alone; K > 1 makes `CompilerDriver::compile` fan K variants
+     * of these options (seeds, BDIR budgets, placement orders,
+     * partition knobs — see src/portfolio/strategy.hh) across the
+     * thread pool, score each candidate's schedule by composite
+     * log-survival, and return the winner with a per-candidate
+     * `PortfolioReport` attached. Candidate 0 is always this exact
+     * configuration, so a race never returns a schedule that
+     * survives worse than the K=1 compile. Does not enter the cache
+     * key: each candidate caches under its own configuration.
+     */
+    CompileOptions &portfolio(int candidates);
+
+    /** Raced strategy count; 1 = portfolio mode off. */
+    int portfolioCandidates() const { return portfolio_; }
+
+    /**
      * Check every field against its documented domain. Returns
      * InvalidConfig listing *all* violations (semicolon-separated)
      * rather than just the first, so a service can report the full
@@ -136,6 +154,7 @@ class CompileOptions
     DcMbqcConfig config_;
     std::shared_ptr<CompileCache> cache_;
     std::optional<NoiseConfig> noise_;
+    int portfolio_ = 1;
 };
 
 } // namespace dcmbqc

@@ -6,6 +6,7 @@
 
 #include "api/thread_pool.hh"
 #include "exec/loss_backend.hh"
+#include "exec/schedule_backend.hh"
 #include "exec/stabilizer_backend.hh"
 #include "exec/statevector_backend.hh"
 
@@ -32,6 +33,7 @@ registry()
             list.push_back(std::make_unique<StatevectorBackend>());
             list.push_back(std::make_unique<StabilizerBackend>());
             list.push_back(std::make_unique<MonteCarloLossBackend>());
+            list.push_back(std::make_unique<ScheduleBackend>());
             return list;
         }();
     return backends;

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Schedule-level execution backend: replays a Clifford measurement
+ * pattern in the *compiled distributed schedule's* order instead of
+ * the pattern's native measurement order. Per-photon generation
+ * times come from the per-QPU timelines (`schedulePhotonTimes`);
+ * measurements are interleaved across QPUs by generation time,
+ * deferred in the delay line until their X/Z correction
+ * dependencies have resolved. Because any correction-consistent
+ * interleaving of a pattern must reproduce the exact corrected
+ * output distribution, executing the schedule directly and
+ * differential-testing it against the pattern-order stabilizer
+ * backend verifies ScheduleList/RefineBdir end-to-end — the
+ * scheduler-verification oracle of ROADMAP item 5.
+ */
+
+#ifndef DCMBQC_EXEC_SCHEDULE_BACKEND_HH
+#define DCMBQC_EXEC_SCHEDULE_BACKEND_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "exec/backend.hh"
+
+namespace dcmbqc
+{
+
+/** Executes compiled distributed schedules at the pattern level. */
+class ScheduleBackend : public ExecutionBackend
+{
+  public:
+    const char *name() const override { return "schedule"; }
+
+    BackendCapabilities capabilities() const override;
+
+    Expected<ExecResult> run(const ExecProgram &program,
+                             const ExecOptions &options) const override;
+};
+
+/**
+ * The schedule-derived global measurement order: a topological
+ * order of the full X/Z correction-dependency graph, prioritized
+ * by per-photon generation time (earliest generated photon whose
+ * corrections have resolved measures next; node id breaks ties).
+ * This is the physical interleaving the distributed machine
+ * executes — a photon generated early but correction-blocked waits
+ * in its delay line.
+ *
+ * @param wait Optional out-parameter, one entry per node: physical
+ *        cycles the photon waited between generation and
+ *        measurement (0 for outputs).
+ * @return The measured (non-output) nodes in execution order, or a
+ *         Status when the correction graph is cyclic — a corrupt
+ *         pattern flow.
+ */
+Expected<std::vector<NodeId>>
+scheduleMeasurementOrder(const Pattern &pattern,
+                         const std::vector<TimeSlot> &times,
+                         std::vector<TimeSlot> *wait = nullptr);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_EXEC_SCHEDULE_BACKEND_HH

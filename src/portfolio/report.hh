@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Race results of a compile-strategy portfolio: one entry per
+ * candidate strategy with its compile outcome and composite
+ * log-survival score, plus the winner index. Deliberately a light
+ * header (no driver dependency) so `CompileReport` can embed a
+ * `PortfolioReport` while the racer itself builds on the driver.
+ */
+
+#ifndef DCMBQC_PORTFOLIO_REPORT_HH
+#define DCMBQC_PORTFOLIO_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.hh"
+
+namespace dcmbqc
+{
+
+/** Outcome of one strategy in a portfolio race. */
+struct PortfolioCandidate
+{
+    /** Strategy name from the StrategySpace ("default", ...). */
+    std::string strategy;
+
+    /** Seed this candidate's stochastic passes ran under. */
+    std::uint64_t seed = 0;
+
+    /** Compile outcome; stragglers cancelled early carry Cancelled
+     *  or DeadlineExceeded. */
+    Status status;
+
+    /** Composite log-survival of the candidate's schedule under the
+     *  race's scoring model (higher is better; 0 when failed). */
+    double logSurvival = 0.0;
+
+    /** exp(logSurvival); 0 when the candidate failed. */
+    double successProbability = 0.0;
+
+    /** Schedule diagnostics of a successful candidate. */
+    int makespan = 0;
+    int connectors = 0;
+
+    /** Wall-clock of this candidate's compile + scoring. */
+    double wallMillis = 0.0;
+
+    /** Served from the shared compile cache. */
+    bool cacheHit = false;
+
+    /** Cancelled before finishing (straggler control / parent). */
+    bool cancelled = false;
+
+    /** This candidate's schedule was returned. */
+    bool winner = false;
+};
+
+/** Race summary attached to the winning compile report. */
+struct PortfolioReport
+{
+    /** Candidate count requested (K). */
+    int requested = 0;
+
+    /** Index of the winning candidate; -1 when every one failed. */
+    int winnerIndex = -1;
+
+    /** Wall-clock of the whole race. */
+    double raceMillis = 0.0;
+
+    /** Losers cancelled before finishing their pipeline. */
+    int cancelledEarly = 0;
+
+    /** Winner replayed successfully on the schedule backend. */
+    bool validated = false;
+
+    /** Why validation passed / was skipped. */
+    std::string validationNote;
+
+    /** One entry per strategy, in StrategySpace order. */
+    std::vector<PortfolioCandidate> candidates;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_PORTFOLIO_REPORT_HH

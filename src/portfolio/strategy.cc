@@ -1,0 +1,93 @@
+#include "portfolio/strategy.hh"
+
+#include <utility>
+
+namespace dcmbqc
+{
+
+StrategySpace::StrategySpace(CompileOptions base)
+    : base_(std::move(base))
+{
+    // A candidate must compile exactly one strategy; recursion into
+    // another race would square the fan-out.
+    base_.portfolio(1);
+}
+
+std::vector<Strategy>
+StrategySpace::enumerate(int k) const
+{
+    std::vector<Strategy> strategies;
+    strategies.reserve(static_cast<std::size_t>(k > 0 ? k : 0));
+    const std::uint64_t base_seed = base_.config().partition.seed;
+    for (int i = 0; i < k; ++i) {
+        Strategy s;
+        s.options = base_;
+        switch (i) {
+          case 0:
+            s.name = "default";
+            break;
+          case 1:
+            // Deeper annealing: more BDIR iterations from a hotter
+            // start explore interchange moves the default budget
+            // rejects early.
+            s.name = "bdir-hot";
+            s.options.bdirInitialTemperature(25.0)
+                .bdirMaxIterations(
+                    base_.config().bdir.maxIterations * 3 + 20);
+            break;
+          case 2:
+            // List schedule only: on shallow programs the annealer
+            // occasionally trades makespan for survival; this
+            // candidate keeps the pre-refinement schedule in play.
+            s.name = "bdir-off";
+            s.options.useBdir(false);
+            break;
+          case 3:
+            // The other placement order changes every local layer
+            // assignment, and with it storage and sync placement.
+            s.name = base_.config().order == PlacementOrder::Creation
+                ? "placement-rcm"
+                : "placement-creation";
+            s.options.placementOrder(
+                base_.config().order == PlacementOrder::Creation
+                    ? PlacementOrder::DependencyAwareRcm
+                    : PlacementOrder::Creation);
+            break;
+          case 4:
+            // Tight balance: a lower imbalance cap spreads photons
+            // evenly, shortening the critical QPU's timeline.
+            s.name = "balanced";
+            s.options.alphaMax(1.1);
+            break;
+          case 5:
+            // Loose balance with a faster resolution ramp: lets
+            // modularity dominate, often fewer cut edges.
+            s.name = "loose-cuts";
+            s.options.alphaMax(2.0).gamma(1.05);
+            break;
+          case 6:
+            // Fine-grained probe threshold: the adaptive search
+            // accepts smaller modularity gains, finding partitions
+            // the default epsilon skips past.
+            s.name = "fine-probe";
+            s.options.epsilonQ(0.001);
+            break;
+          default: {
+            // Re-seeded replicas of the default strategy: both
+            // stochastic passes (partition probes, BDIR annealing)
+            // explore a different trajectory per offset.
+            const int offset = i - 6;
+            s.name = "seed+" + std::to_string(offset);
+            s.options.seed(
+                base_seed +
+                0x9e3779b97f4a7c15ull *
+                    static_cast<std::uint64_t>(offset));
+            break;
+          }
+        }
+        strategies.push_back(std::move(s));
+    }
+    return strategies;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * `StrategySpace`: the deterministic menu of compile-strategy
+ * variants a portfolio race draws from. Mirrors the dimensions the
+ * paper's evaluation sweeps by hand — partition knobs (epsilon_Q,
+ * alpha_max, gamma), placement order, BDIR annealing budget, and
+ * seeds for the stochastic passes. Candidate 0 is always the
+ * caller's configuration unchanged, which is what makes the race's
+ * "never worse than the K=1 default" guarantee structural.
+ */
+
+#ifndef DCMBQC_PORTFOLIO_STRATEGY_HH
+#define DCMBQC_PORTFOLIO_STRATEGY_HH
+
+#include <string>
+#include <vector>
+
+#include "api/options.hh"
+
+namespace dcmbqc
+{
+
+/** One named candidate configuration. */
+struct Strategy
+{
+    /** Stable display name ("default", "bdir-hot", "seed+3", ...). */
+    std::string name;
+
+    /** The full option set this candidate compiles under. */
+    CompileOptions options;
+};
+
+/** Enumerates candidate configurations derived from a base. */
+class StrategySpace
+{
+  public:
+    explicit StrategySpace(CompileOptions base);
+
+    /**
+     * The first `k` strategies: index 0 is the base unchanged
+     * ("default"), indices 1..7 vary one dimension each (BDIR
+     * budget, BDIR off, placement order, partition balance /
+     * resolution), and further indices re-seed the stochastic
+     * passes ("seed+i"). Every returned option set has portfolio
+     * mode stripped (a candidate never races recursively) and
+     * shares the base's cache and noise config.
+     */
+    std::vector<Strategy> enumerate(int k) const;
+
+  private:
+    CompileOptions base_;
+};
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_PORTFOLIO_STRATEGY_HH

@@ -645,6 +645,86 @@ decodeSchedule(BinaryReader &reader)
 
 // --- CompileReport ---------------------------------------------------------
 
+namespace
+{
+
+void
+encodePortfolioReport(BinaryWriter &writer,
+                      const PortfolioReport &race)
+{
+    writer.writeU32(static_cast<std::uint32_t>(race.requested));
+    writer.writeI32(race.winnerIndex);
+    writer.writeF64(race.raceMillis);
+    writer.writeU32(
+        static_cast<std::uint32_t>(race.cancelledEarly));
+    writer.writeU8(race.validated ? 1 : 0);
+    writer.writeString(race.validationNote);
+    writer.writeU32(
+        static_cast<std::uint32_t>(race.candidates.size()));
+    for (const PortfolioCandidate &entry : race.candidates) {
+        writer.writeString(entry.strategy);
+        writer.writeU64(entry.seed);
+        std::uint8_t flags = 0;
+        if (entry.cacheHit)
+            flags |= 1;
+        if (entry.cancelled)
+            flags |= 2;
+        if (entry.winner)
+            flags |= 4;
+        writer.writeU8(flags);
+        encodeStatus(writer, entry.status);
+        writer.writeF64(entry.logSurvival);
+        writer.writeF64(entry.successProbability);
+        writer.writeI32(entry.makespan);
+        writer.writeI32(entry.connectors);
+        writer.writeF64(entry.wallMillis);
+    }
+}
+
+PortfolioReport
+decodePortfolioReport(BinaryReader &reader)
+{
+    PortfolioReport race;
+    race.requested = static_cast<int>(reader.readU32());
+    race.winnerIndex = reader.readI32();
+    race.raceMillis = reader.readF64();
+    race.cancelledEarly = static_cast<int>(reader.readU32());
+    race.validated = reader.readU8() != 0;
+    race.validationNote = reader.readString();
+    const std::uint32_t candidates = reader.readCount(10);
+    for (std::uint32_t i = 0; i < candidates && reader.ok(); ++i) {
+        PortfolioCandidate entry;
+        entry.strategy = reader.readString();
+        entry.seed = reader.readU64();
+        const std::uint8_t flags = reader.readU8();
+        if ((flags & ~0x7) != 0) {
+            reader.fail("portfolio-candidate flags byte " +
+                        std::to_string(flags) + " is invalid");
+            break;
+        }
+        entry.cacheHit = (flags & 1) != 0;
+        entry.cancelled = (flags & 2) != 0;
+        entry.winner = (flags & 4) != 0;
+        entry.status = decodeStatus(reader);
+        entry.logSurvival = reader.readF64();
+        entry.successProbability = reader.readF64();
+        entry.makespan = reader.readI32();
+        entry.connectors = reader.readI32();
+        entry.wallMillis = reader.readF64();
+        race.candidates.push_back(std::move(entry));
+    }
+    if (reader.ok() &&
+        (race.winnerIndex < -1 ||
+         race.winnerIndex >=
+             static_cast<int>(race.candidates.size())))
+        reader.fail("portfolio winner index " +
+                    std::to_string(race.winnerIndex) +
+                    " outside the candidate table");
+    return race;
+}
+
+} // namespace
+
 void
 encodeCompileReport(BinaryWriter &writer, const CompileReport &report)
 {
@@ -662,6 +742,8 @@ encodeCompileReport(BinaryWriter &writer, const CompileReport &report)
         flags |= 16;
     if (report.pattern)
         flags |= 32;
+    if (report.portfolio)
+        flags |= 64;
     writer.writeU8(flags);
     if (report.distributed)
         encodeDcResult(writer, *report.distributed);
@@ -696,6 +778,8 @@ encodeCompileReport(BinaryWriter &writer, const CompileReport &report)
     }
     if (report.pattern)
         encodePattern(writer, *report.pattern);
+    if (report.portfolio)
+        encodePortfolioReport(writer, *report.portfolio);
 }
 
 CompileReport
@@ -708,8 +792,9 @@ decodeCompileReport(BinaryReader &reader)
     // this version writes, and always one result payload; anything
     // else is a corrupted or handcrafted artifact. Bit 16
     // (executions) and bit 32 (retained pattern) are absent from
-    // older artifacts, which keeps them decodable byte for byte.
-    if ((flags & ~0x3f) != 0 || (flags & 3) == 0) {
+    // older artifacts, which keeps them decodable byte for byte —
+    // as is bit 64 (portfolio race table).
+    if ((flags & ~0x7f) != 0 || (flags & 3) == 0) {
         reader.fail("compile-report flags byte " +
                     std::to_string(flags) +
                     " is invalid (no result payload)");
@@ -753,6 +838,8 @@ decodeCompileReport(BinaryReader &reader)
     }
     if (flags & 32)
         report.pattern = decodePattern(reader);
+    if (flags & 64)
+        report.portfolio = decodePortfolioReport(reader);
     return report;
 }
 

@@ -564,6 +564,39 @@ toJson(const CompileReport &report)
             writeExecResultBody(json, execution);
         json.endArray();
     }
+    if (report.portfolio) {
+        const PortfolioReport &race = *report.portfolio;
+        json.key("portfolio").beginObject();
+        json.key("requested").value(race.requested);
+        json.key("winnerIndex").value(race.winnerIndex);
+        json.key("raceMillis").value(race.raceMillis);
+        json.key("cancelledEarly").value(race.cancelledEarly);
+        json.key("validated").value(race.validated);
+        if (!race.validationNote.empty())
+            json.key("validationNote").value(race.validationNote);
+        json.key("candidates").beginArray();
+        for (const PortfolioCandidate &entry : race.candidates) {
+            json.beginObject();
+            json.key("strategy").value(entry.strategy);
+            json.key("seed").value(
+                static_cast<unsigned long long>(entry.seed));
+            json.key("status").value(entry.status.toString());
+            if (entry.status.ok()) {
+                json.key("logSurvival").value(entry.logSurvival);
+                json.key("successProbability")
+                    .value(entry.successProbability);
+                json.key("makespan").value(entry.makespan);
+                json.key("connectors").value(entry.connectors);
+            }
+            json.key("wallMillis").value(entry.wallMillis);
+            json.key("cacheHit").value(entry.cacheHit);
+            json.key("cancelled").value(entry.cancelled);
+            json.key("winner").value(entry.winner);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
     if (report.baseline) {
         const BaselineResult &result = *report.baseline;
         json.key("baseline").beginObject();

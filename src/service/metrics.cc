@@ -86,6 +86,20 @@ ServiceMetrics::recordStages(const std::vector<StageReport> &stages)
     }
 }
 
+void
+ServiceMetrics::recordRace(const PortfolioReport &race)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++portfolioRaces_;
+    portfolioCandidates_ += race.candidates.size();
+    portfolioCancelledEarly_ +=
+        static_cast<std::uint64_t>(std::max(0, race.cancelledEarly));
+    if (race.winnerIndex >= 0 &&
+        race.winnerIndex < static_cast<int>(race.candidates.size()))
+        ++winnerStrategies_[race.candidates[race.winnerIndex]
+                                .strategy];
+}
+
 ServiceStats
 ServiceMetrics::snapshot() const
 {
@@ -118,6 +132,23 @@ ServiceMetrics::snapshot() const
               [](const ServiceStats::StageAggregate &a,
                  const ServiceStats::StageAggregate &b) {
                   return a.totalMillis > b.totalMillis;
+              });
+    stats.portfolioRaces = portfolioRaces_;
+    stats.portfolioCandidates = portfolioCandidates_;
+    stats.portfolioCancelledEarly = portfolioCancelledEarly_;
+    stats.portfolioWinners.reserve(winnerStrategies_.size());
+    for (const auto &entry : winnerStrategies_) {
+        ServiceStats::WinnerCount winner;
+        winner.strategy = entry.first;
+        winner.wins = entry.second;
+        stats.portfolioWinners.push_back(std::move(winner));
+    }
+    std::sort(stats.portfolioWinners.begin(),
+              stats.portfolioWinners.end(),
+              [](const ServiceStats::WinnerCount &a,
+                 const ServiceStats::WinnerCount &b) {
+                  return a.wins != b.wins ? a.wins > b.wins
+                                          : a.strategy < b.strategy;
               });
     return stats;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "api/pass.hh"
+#include "portfolio/report.hh"
 #include "service/protocol.hh"
 
 namespace dcmbqc
@@ -50,6 +51,12 @@ class ServiceMetrics
      * count).
      */
     void recordStages(const std::vector<StageReport> &stages);
+
+    /**
+     * Fold one portfolio race into the race counters and the
+     * winner-strategy histogram.
+     */
+    void recordRace(const PortfolioReport &race);
 
     /**
      * Immutable snapshot of everything recorded so far. Counters and
@@ -89,6 +96,11 @@ class ServiceMetrics
 
     std::unordered_map<std::string, ServiceStats::StageAggregate>
         stages_;
+
+    std::uint64_t portfolioRaces_ = 0;
+    std::uint64_t portfolioCandidates_ = 0;
+    std::uint64_t portfolioCancelledEarly_ = 0;
+    std::unordered_map<std::string, std::uint64_t> winnerStrategies_;
 };
 
 } // namespace dcmbqc

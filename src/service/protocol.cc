@@ -345,6 +345,7 @@ encodeServiceJob(const ServiceJob &job)
     for (const ExecOptions &backend : job.backends)
         writeExecOptions(writer, backend);
     writeOptionalNoise(writer, job.noise);
+    writer.writeU32(job.portfolio);
     return writer.take();
 }
 
@@ -402,6 +403,11 @@ decodeServiceJob(const std::vector<std::uint8_t> &bytes)
     for (std::uint32_t i = 0; i < backends && reader.ok(); ++i)
         job.backends.push_back(readExecOptions(reader));
     job.noise = readOptionalNoise(reader);
+    job.portfolio = reader.readU32();
+    if (reader.ok() && job.portfolio > 64)
+        reader.fail("portfolio candidate count " +
+                    std::to_string(job.portfolio) +
+                    " exceeds the limit of 64");
 
     if (!reader.ok())
         return reader.status();
@@ -565,6 +571,16 @@ encodeServiceStats(const ServiceStats &stats)
         writer.writeF64(stage.totalMillis);
         writer.writeF64(stage.maxMillis);
     }
+    writer.writeU64(stats.portfolioRaces);
+    writer.writeU64(stats.portfolioCandidates);
+    writer.writeU64(stats.portfolioCancelledEarly);
+    writer.writeU32(
+        static_cast<std::uint32_t>(stats.portfolioWinners.size()));
+    for (const ServiceStats::WinnerCount &winner :
+         stats.portfolioWinners) {
+        writer.writeString(winner.strategy);
+        writer.writeU64(winner.wins);
+    }
     return writer.take();
 }
 
@@ -613,6 +629,16 @@ decodeServiceStats(const std::vector<std::uint8_t> &bytes)
         stage.totalMillis = reader.readF64();
         stage.maxMillis = reader.readF64();
         stats.stages.push_back(std::move(stage));
+    }
+    stats.portfolioRaces = reader.readU64();
+    stats.portfolioCandidates = reader.readU64();
+    stats.portfolioCancelledEarly = reader.readU64();
+    const std::uint32_t winners = reader.readCount(1);
+    for (std::uint32_t i = 0; i < winners && reader.ok(); ++i) {
+        ServiceStats::WinnerCount winner;
+        winner.strategy = reader.readString();
+        winner.wins = reader.readU64();
+        stats.portfolioWinners.push_back(std::move(winner));
     }
     if (!reader.ok())
         return reader.status();
@@ -676,6 +702,22 @@ toJson(const ServiceStats &stats)
         .value((unsigned long long)stats.cache.diskWrites);
     json.key("memoryEntries")
         .value((unsigned long long)stats.cacheEntries);
+    json.endObject();
+    json.key("portfolio").beginObject();
+    json.key("races").value((unsigned long long)stats.portfolioRaces);
+    json.key("candidates")
+        .value((unsigned long long)stats.portfolioCandidates);
+    json.key("cancelledEarly")
+        .value((unsigned long long)stats.portfolioCancelledEarly);
+    json.key("winners").beginArray();
+    for (const ServiceStats::WinnerCount &winner :
+         stats.portfolioWinners) {
+        json.beginObject();
+        json.key("strategy").value(winner.strategy);
+        json.key("wins").value((unsigned long long)winner.wins);
+        json.endObject();
+    }
+    json.endArray();
     json.endObject();
     json.key("stages").beginArray();
     for (const ServiceStats::StageAggregate &stage : stats.stages) {

@@ -9,7 +9,7 @@
  *
  *   offset  size  field
  *        0     4  magic "DSVC"
- *        4     2  protocol version (u16, currently 1)
+ *        4     2  protocol version (u16, currently 3)
  *        6     2  frame type tag (u16)
  *        8     8  payload size in bytes (u64)
  *       16     n  payload (type-specific codec below)
@@ -44,10 +44,12 @@ namespace dcmbqc
 
 /**
  * Current service protocol version. v2 added the optional NoiseConfig
- * passenger to ServiceJob and to every embedded ExecOptions; frames
- * from v1 peers are rejected at the header (no silent re-parse).
+ * passenger to ServiceJob and to every embedded ExecOptions; v3
+ * added the ServiceJob portfolio candidate count and the portfolio
+ * section of ServiceStats. Frames from older peers are rejected at
+ * the header (no silent re-parse).
  */
-inline constexpr std::uint16_t serviceProtocolVersion = 2;
+inline constexpr std::uint16_t serviceProtocolVersion = 3;
 
 /** Hard ceiling on a frame payload (guards allocation bombs). */
 inline constexpr std::size_t serviceMaxFramePayload =
@@ -186,6 +188,14 @@ struct ServiceJob
      * own. Absent = noise-free job.
      */
     std::optional<NoiseConfig> noise;
+
+    /**
+     * Portfolio candidate count: values > 1 make the daemon race
+     * that many compile strategies server-side (sharing the hot
+     * cache per candidate) and reply with the winner's artifact,
+     * race table attached. 0 and 1 both mean a plain K=1 compile.
+     */
+    std::uint32_t portfolio = 0;
 };
 
 std::vector<std::uint8_t> encodeServiceJob(const ServiceJob &job);
@@ -318,6 +328,25 @@ struct ServiceStats
         double maxMillis = 0.0;
     };
     std::vector<StageAggregate> stages;
+
+    // Portfolio races -------------------------------------------------------
+
+    /** Jobs that raced K > 1 compile strategies. */
+    std::uint64_t portfolioRaces = 0;
+
+    /** Candidates compiled across all races. */
+    std::uint64_t portfolioCandidates = 0;
+
+    /** Losers cancelled before finishing (straggler control). */
+    std::uint64_t portfolioCancelledEarly = 0;
+
+    /** How often each strategy won a race, by strategy name. */
+    struct WinnerCount
+    {
+        std::string strategy;
+        std::uint64_t wins = 0;
+    };
+    std::vector<WinnerCount> portfolioWinners;
 };
 
 std::vector<std::uint8_t> encodeServiceStats(const ServiceStats &stats);

@@ -416,9 +416,11 @@ ServiceServer::tryHotReply(
     int fd, const ServiceJob &job,
     std::chrono::steady_clock::time_point received)
 {
-    // Hot serving only applies to compile-only jobs: executions run
-    // with the caller's seed and are never cached.
-    if (!job.backends.empty() || !job.request)
+    // Hot serving only applies to compile-only, K=1 jobs: executions
+    // run with the caller's seed and are never cached, and a
+    // portfolio job must actually race (the hot key addresses only
+    // the default strategy's artifact).
+    if (!job.backends.empty() || !job.request || job.portfolio > 1)
         return false;
     if (!job.request->validate().ok())
         return false;
@@ -495,6 +497,17 @@ ServiceServer::handleCompile(int fd,
         return;
     }
 
+    if (job.baseline && job.portfolio > 1) {
+        CompileReply reply;
+        reply.status = Status::invalidArgument(
+            "baseline jobs cannot race a portfolio (candidates are "
+            "scored on the distributed schedule, which the baseline "
+            "pipeline does not produce)");
+        metrics_.recordOutcome(reply.status, false, false);
+        replyWith(reply);
+        return;
+    }
+
     if (tryHotReply(fd, job, received))
         return;
 
@@ -524,6 +537,8 @@ ServiceServer::handleCompile(int fd,
         CompileOptions options =
             CompileOptions::fromConfig(job.config);
         options.cache(cache_);
+        if (job.portfolio > 1)
+            options.portfolio(static_cast<int>(job.portfolio));
         std::vector<ExecOptions> backends = job.backends;
         if (job.noise) {
             options.noise(*job.noise);
@@ -568,6 +583,8 @@ ServiceServer::handleCompile(int fd,
         recordVerifier(report.cacheKey, report.cacheVerifier);
         if (!report.cacheHit)
             metrics_.recordStages(report.stages);
+        if (report.portfolio)
+            metrics_.recordRace(*report.portfolio);
     } else {
         reply.status = state->result.status();
     }

@@ -43,13 +43,14 @@ expectSameExecResult(const ExecResult &a, const ExecResult &b)
     EXPECT_EQ(a.notes, b.notes);
 }
 
-TEST(ExecBackendRegistry, ListsTheThreeBuiltInBackends)
+TEST(ExecBackendRegistry, ListsTheFourBuiltInBackends)
 {
     const auto names = backendNames();
-    ASSERT_EQ(names.size(), 3u);
+    ASSERT_EQ(names.size(), 4u);
     EXPECT_EQ(names[0], "statevector");
     EXPECT_EQ(names[1], "stabilizer");
     EXPECT_EQ(names[2], "mc-loss");
+    EXPECT_EQ(names[3], "schedule");
 
     for (const std::string &name : names) {
         const ExecutionBackend *backend = findBackend(name);
@@ -76,6 +77,15 @@ TEST(ExecBackendRegistry, CapabilitiesDescribeTheContract)
     const auto loss = findBackend("mc-loss")->capabilities();
     EXPECT_FALSE(loss.runsPattern);
     EXPECT_TRUE(loss.runsSchedule);
+
+    // The schedule backend consumes both payloads: the pattern for
+    // semantics, the compiled schedule for measurement order.
+    const auto sched = findBackend("schedule")->capabilities();
+    EXPECT_TRUE(sched.runsPattern);
+    EXPECT_TRUE(sched.runsSchedule);
+    EXPECT_TRUE(sched.cliffordOnly);
+    EXPECT_TRUE(sched.exactProbabilities);
+    EXPECT_EQ(sched.maxWires, 0);
 }
 
 TEST(ExecOptionsValidation, RejectsEveryBadFieldAtOnce)
@@ -177,6 +187,68 @@ TEST(ExecDispatch, LossBackendRequiresACompiledSchedule)
               std::string::npos);
 }
 
+TEST(ExecDispatch, ScheduleBackendRejectsScheduleLessPrograms)
+{
+    // A pattern-only program (e.g. a compile artifact that was
+    // never distributed-compiled) must fail via Status, not crash.
+    ExecOptions options;
+    options.backend = "schedule";
+    options.shots = 8;
+    auto result = executeProgram(
+        ExecProgram::fromCircuit(
+            makeRandomCliffordCircuit(3, 8, 3), "no-schedule"),
+        options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_NE(result.status().message().find("compile"),
+              std::string::npos);
+}
+
+TEST(ExecDispatch, ScheduleBackendRejectsBaselineOnlyPrograms)
+{
+    // The dispatcher admits baselines for schedule-capable backends
+    // (mc-loss runs them); the schedule backend itself must reject
+    // a monolithic baseline via Status — it has no distributed
+    // timeline to interleave.
+    const CompilerDriver driver(CompileOptions().gridSize(9));
+    const auto request = CompileRequest::fromCircuit(
+        makeRandomCliffordCircuit(3, 8, 3), "baseline-only");
+    auto report = driver.compileBaseline(request);
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    ASSERT_TRUE(report->baseline.has_value());
+
+    ExecOptions options;
+    options.backend = "schedule";
+    options.shots = 8;
+    const ExecProgram program =
+        ExecProgram::fromRequest(request).withBaseline(
+            *report->baseline);
+    auto result = executeProgram(program, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_NE(result.status().message().find("baseline"),
+              std::string::npos);
+}
+
+TEST(ExecDispatch, ScheduleBackendRejectsNonCliffordPatterns)
+{
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(1));
+    const auto request =
+        CompileRequest::fromCircuit(makeQft(4), "qft");
+    ExecOptions options;
+    options.backend = "schedule";
+    options.shots = 4;
+    auto report = driver.compileAndExecute(request, options);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_NE(report.status().message().find("Clifford"),
+              std::string::npos);
+}
+
 TEST(ExecStatevector, CountsCoverAllShotsAndProbabilitiesNormalize)
 {
     ExecOptions options;
@@ -229,7 +301,7 @@ TEST(ExecParallelism, ShotSamplingIsThreadCountInvariant)
         makeRandomCliffordCircuit(4, 12, 9), "threads");
 
     for (const char *backend :
-         {"statevector", "stabilizer", "mc-loss"}) {
+         {"statevector", "stabilizer", "mc-loss", "schedule"}) {
         ExecOptions serial;
         serial.backend = backend;
         serial.shots = 64;

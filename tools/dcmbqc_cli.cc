@@ -62,14 +62,15 @@ usage()
         "                 [--seed S] [--pl-ratio R] [--resource-state "
         "ring4|star5|ring6|star7]\n"
         "                 [--no-bdir] [--baseline] [--label NAME]\n"
-        "                 [--noise NOISE.json|.dcmbqc]\n"
+        "                 [--noise NOISE.json|.dcmbqc] "
+        "[--portfolio K]\n"
         "                 [--cache-dir DIR] [--save-circuit "
         "FILE.dcmbqc] [--quiet]\n"
         "                 [--daemon SOCK [--autostart] "
         "[--deadline-ms N] [--progress]]\n"
         "  dcmbqc run     ARTIFACT.dcmbqc (circuit or pattern)\n"
         "                 [--backend statevector|stabilizer|mc-loss"
-        "|all]\n"
+        "|schedule|all]\n"
         "                 [--shots N] [--exec-seed S] [--threads N] "
         "[--raw]\n"
         "                 [--cycle-ns X] [--qpus N] [--grid L] "
@@ -78,7 +79,8 @@ usage()
         "[--baseline]\n"
         "                 [--noise NOISE.json|.dcmbqc] "
         "[--cache-dir DIR]\n"
-        "                 [-o REPORT.dcmbqc] [--quiet]\n"
+        "                 [--portfolio K] [-o REPORT.dcmbqc] "
+        "[--quiet]\n"
         "                 [--daemon SOCK [--autostart] "
         "[--deadline-ms N] [--progress]]\n"
         "  dcmbqc inspect FILE.dcmbqc\n"
@@ -241,12 +243,44 @@ daemonCompile(ServiceClient &client, const ServiceJob &job,
 
 // --- compile ---------------------------------------------------------------
 
+/** Render a portfolio race table (winner marked with '*'). */
+void
+printPortfolioTable(const PortfolioReport &race)
+{
+    std::printf("portfolio race: %d candidate(s), %.2f ms",
+                race.requested, race.raceMillis);
+    if (race.cancelledEarly > 0)
+        std::printf(", %d cancelled early", race.cancelledEarly);
+    std::printf("\n");
+    for (const PortfolioCandidate &entry : race.candidates) {
+        if (entry.status.ok())
+            std::printf("  %c %-18s survival %.4f  makespan %5d  "
+                        "connectors %4d  %7.2f ms%s\n",
+                        entry.winner ? '*' : ' ',
+                        entry.strategy.c_str(),
+                        entry.successProbability, entry.makespan,
+                        entry.connectors, entry.wallMillis,
+                        entry.cacheHit ? "  (cache hit)" : "");
+        else
+            std::printf("  %c %-18s %s%s\n",
+                        entry.winner ? '*' : ' ',
+                        entry.strategy.c_str(),
+                        entry.cancelled
+                            ? "cancelled"
+                            : entry.status.toString().c_str(),
+                        entry.cancelled ? " (straggler)" : "");
+    }
+    if (!race.validationNote.empty())
+        std::printf("  %s\n", race.validationNote.c_str());
+}
+
 int
 runCompile(const std::vector<std::string> &args)
 {
     std::string family, circuit_in, out_path, label, cache_dir;
     std::string save_circuit, noise_path;
     int qubits = 0, qpus = 4, grid = 0, kmax = 4, pl_ratio = 0;
+    int portfolio = 1;
     std::uint64_t seed = 1;
     ResourceStateType state = ResourceStateType::Star5;
     bool use_bdir = true, baseline = false, quiet = false;
@@ -330,6 +364,7 @@ runCompile(const std::vector<std::string> &args)
             else if (arg == "--grid") slot = &grid;
             else if (arg == "--kmax") slot = &kmax;
             else if (arg == "--pl-ratio") slot = &pl_ratio;
+            else if (arg == "--portfolio") slot = &portfolio;
             else if (arg == "--deadline-ms")
                 slot = &daemon.deadlineMillis;
             if (!slot) {
@@ -402,6 +437,13 @@ runCompile(const std::vector<std::string> &args)
         .seed(seed);
     if (pl_ratio > 0)
         options.plRatio(pl_ratio);
+    if (portfolio > 1) {
+        if (baseline)
+            return fail(Status::invalidArgument(
+                "--portfolio needs the distributed pipeline; drop "
+                "--baseline"));
+        options.portfolio(portfolio);
+    }
     if (noise)
         options.noise(*noise);
     std::shared_ptr<CompileCache> cache;
@@ -429,6 +471,9 @@ runCompile(const std::vector<std::string> &args)
             : 0;
         job.streamProgress = daemon.progress;
         job.noise = noise;
+        job.portfolio = portfolio > 1
+            ? static_cast<std::uint32_t>(portfolio)
+            : 0;
 
         ServiceClient client;
         const Status connected =
@@ -439,6 +484,8 @@ runCompile(const std::vector<std::string> &args)
         if (!served.ok())
             return fail(served.status());
         const CompileReport &report = served->report;
+        if (!quiet && report.portfolio)
+            printPortfolioTable(*report.portfolio);
         if (!quiet) {
             std::printf("compiled %s via %s: %s\n",
                         report.label.c_str(),
@@ -478,6 +525,8 @@ runCompile(const std::vector<std::string> &args)
     if (!report.ok())
         return fail(report.status());
 
+    if (!quiet && report->portfolio)
+        printPortfolioTable(*report->portfolio);
     if (!quiet) {
         std::printf("compiled %s: %s\n", report->label.c_str(),
                     report->cacheHit ? "cache hit (no pass ran)"
@@ -590,6 +639,7 @@ runRun(const std::vector<std::string> &args)
     std::string noise_path;
     int shots = 256, threads = 0;
     int qpus = 4, grid = 0, kmax = 4, pl_ratio = 0;
+    int portfolio = 1;
     std::uint64_t seed = 1;
     std::int64_t exec_seed = -1;
     bool exec_seed_set = false;
@@ -679,6 +729,7 @@ runRun(const std::vector<std::string> &args)
             else if (arg == "--grid") slot = &grid;
             else if (arg == "--kmax") slot = &kmax;
             else if (arg == "--pl-ratio") slot = &pl_ratio;
+            else if (arg == "--portfolio") slot = &portfolio;
             else if (arg == "--deadline-ms")
                 slot = &daemon.deadlineMillis;
             if (!slot) {
@@ -758,6 +809,13 @@ runRun(const std::vector<std::string> &args)
         .seed(seed);
     if (pl_ratio > 0)
         options.plRatio(pl_ratio);
+    if (portfolio > 1) {
+        if (baseline)
+            return fail(Status::invalidArgument(
+                "--portfolio needs the distributed pipeline; drop "
+                "--baseline"));
+        options.portfolio(portfolio);
+    }
     if (noise)
         options.noise(*noise);
     std::shared_ptr<CompileCache> cache;
@@ -817,6 +875,9 @@ runRun(const std::vector<std::string> &args)
             job.streamProgress = daemon.progress && !merged;
             job.backends = {exec};
             job.noise = noise;
+            job.portfolio = portfolio > 1
+                ? static_cast<std::uint32_t>(portfolio)
+                : 0;
             auto served = daemonCompile(client, job, quiet);
             if (!served.ok()) {
                 if (run_all &&
@@ -834,6 +895,8 @@ runRun(const std::vector<std::string> &args)
             const std::size_t fresh = served->report.executions.size();
             if (!merged) {
                 merged = std::move(served->report);
+                if (!quiet && merged->portfolio)
+                    printPortfolioTable(*merged->portfolio);
                 if (!quiet)
                     std::printf(
                         "compiled %s via %s: %s, execution time %d "
@@ -876,6 +939,8 @@ runRun(const std::vector<std::string> &args)
     if (!compiled.ok())
         return fail(compiled.status());
     CompileReport report = std::move(compiled.value());
+    if (!quiet && report.portfolio)
+        printPortfolioTable(*report.portfolio);
     if (!quiet)
         std::printf("compiled %s (%s): %s, execution time %d cycles, "
                     "required lifetime %d cycles\n",
@@ -1118,6 +1183,22 @@ runStatsDaemon(const std::string &socket_path, bool json)
     table.row()
         .cell("draining")
         .cell(s.draining ? "yes" : "no");
+    if (s.portfolioRaces > 0) {
+        table.row()
+            .cell("portfolio races")
+            .cell(static_cast<long long>(s.portfolioRaces));
+        table.row()
+            .cell("  candidates compiled")
+            .cell(static_cast<long long>(s.portfolioCandidates));
+        table.row()
+            .cell("  cancelled early")
+            .cell(static_cast<long long>(s.portfolioCancelledEarly));
+        for (const ServiceStats::WinnerCount &winner :
+             s.portfolioWinners)
+            table.row()
+                .cell("  wins " + winner.strategy)
+                .cell(static_cast<long long>(winner.wins));
+    }
     for (const ServiceStats::StageAggregate &stage : s.stages)
         table.row()
             .cell("stage " + stage.pass)
