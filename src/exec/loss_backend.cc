@@ -222,8 +222,11 @@ MonteCarloLossBackend::run(const ExecProgram &program,
                     ++lost_here;
         } else {
             // A burst can hit a photon the independent draws already
-            // lost; the mask keeps the count honest.
-            std::vector<char> mask(site_loss.size(), 0);
+            // lost; the mask keeps the count honest. One buffer per
+            // worker thread — assign() recycles its capacity, so the
+            // shot loop allocates nothing after warm-up.
+            thread_local std::vector<char> mask;
+            mask.assign(site_loss.size(), 0);
             for (std::size_t u = 0; u < site_loss.size(); ++u)
                 if (rng.bernoulli(site_loss[u]))
                     mask[u] = 1;

@@ -9,10 +9,13 @@
 #include "common/rng.hh"
 #include "exec/loss_backend.hh"
 #include "exec/noise_channel.hh"
+#include "exec/stabilizer_replay.hh"
 #include "mbqc/dependency.hh"
 #include "noise/analysis.hh"
 #include "noise/model.hh"
+#include "sim/kernel_config.hh"
 #include "sim/stabilizer.hh"
+#include "sim/stabilizer_reference.hh"
 
 namespace dcmbqc
 {
@@ -50,68 +53,6 @@ struct ScheduleShot
     /** Photons lost to the noise model (> 0 voids the shot). */
     int lostPhotons = 0;
 };
-
-/**
- * Replay the pattern in the schedule-derived order. Identical
- * correction bookkeeping to the stabilizer backend's pattern-order
- * replay: the adapted angle is computed in integer quarter turns,
- * and outcome 1 on node m flips sx on flow(m) and sz on the
- * neighbors of flow(m). Only the *order* differs — which is exactly
- * the degree of freedom the scheduler exercises, and what the
- * differential harness cross-checks.
- */
-ScheduleShot
-runShot(const Pattern &pattern, const std::vector<NodeId> &order,
-        const std::vector<int> &base_turns, bool apply_byproducts,
-        Rng &rng)
-{
-    const NodeId n = pattern.numNodes();
-    // Entangling commutes across qubits, so the whole distributed
-    // graph state can be prepared up front; the schedule governs
-    // measurement timing only.
-    StabilizerSim sim(n);
-    sim.prepareGraphState(pattern.graph());
-
-    std::vector<int> sx(n, 0), sz(n, 0);
-    for (NodeId m : order) {
-        const int k =
-            (((sx[m] ? -base_turns[m] : base_turns[m]) +
-              (sz[m] ? 2 : 0)) % 4 + 4) % 4;
-        switch (k) {
-          case 1: sim.applySdg(m); break;
-          case 2: sim.applyZ(m); break;
-          case 3: sim.applyS(m); break;
-          default: break;
-        }
-        const StabMeasureResult mr = sim.measureX(m, rng);
-        if (mr.outcome) {
-            const NodeId succ = pattern.flow(m);
-            sx[succ] ^= 1;
-            for (const auto &adj : pattern.graph().adjacency(succ))
-                if (adj.neighbor != m)
-                    sz[adj.neighbor] ^= 1;
-        }
-    }
-
-    ScheduleShot shot;
-    const auto &outputs = pattern.outputs();
-    shot.bits.assign(outputs.size(), '0');
-    for (std::size_t w = 0; w < outputs.size(); ++w) {
-        const NodeId o = outputs[w];
-        if (apply_byproducts) {
-            if (sz[o])
-                sim.applyZ(o);
-            if (sx[o])
-                sim.applyX(o);
-        }
-        const StabMeasureResult mr = sim.measureZ(o, rng);
-        if (mr.outcome)
-            shot.bits[w] = '1';
-        if (!mr.deterministic)
-            ++shot.randomOutputs;
-    }
-    return shot;
-}
 
 } // namespace
 
@@ -290,11 +231,14 @@ ScheduleBackend::run(const ExecProgram &program,
         }
     }
 
+    // The schedule-order replay shares its stepper with the
+    // stabilizer backend (identical correction bookkeeping; only the
+    // *order* differs — exactly the degree of freedom the scheduler
+    // exercises, and what the differential harness cross-checks).
     std::vector<ScheduleShot> shots(options.shots);
-    forEachShot(options.shots, result.threads, [&](int shot) {
-        Rng rng(shotSeed(options.seed, shot));
-        shots[shot] = runShot(pattern, *order, base_turns,
-                              options.applyByproducts, rng);
+    const auto post = [&](int shot, StabReplayResult r) {
+        shots[shot].bits = std::move(r.bits);
+        shots[shot].randomOutputs = r.randomOutputs;
         if (!model)
             return;
         Rng noise_rng(shotSeed(options.seed, shot) ^
@@ -305,7 +249,10 @@ ScheduleBackend::run(const ExecProgram &program,
                 if (noise_rng.bernoulli(p))
                     ++lost;
         } else {
-            std::vector<char> mask(site_loss.size(), 0);
+            // Per-worker buffer; assign() recycles the capacity so
+            // the shot loop allocates nothing after warm-up.
+            thread_local std::vector<char> mask;
+            mask.assign(site_loss.size(), 0);
             for (std::size_t u = 0; u < site_loss.size(); ++u)
                 if (noise_rng.bernoulli(site_loss[u]))
                     mask[u] = 1;
@@ -321,7 +268,17 @@ ScheduleBackend::run(const ExecProgram &program,
             for (char &bit : shots[shot].bits)
                 if (noise_rng.bernoulli(flip_probability))
                     bit = bit == '0' ? '1' : '0';
-    });
+    };
+    if (simKernelConfig().packedTableau)
+        sampleStabShots<StabilizerSim>(
+            pattern, *order, base_turns, options.applyByproducts,
+            options.shots, result.threads, options.seed,
+            simKernelConfig().shotTree, post);
+    else
+        sampleStabShots<ScalarStabilizerSim>(
+            pattern, *order, base_turns, options.applyByproducts,
+            options.shots, result.threads, options.seed,
+            simKernelConfig().shotTree, post);
 
     for (ScheduleShot &shot : shots) {
         if (shot.lostPhotons > 0) {

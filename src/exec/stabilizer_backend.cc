@@ -4,7 +4,10 @@
 
 #include "common/rng.hh"
 #include "exec/noise_channel.hh"
+#include "exec/stabilizer_replay.hh"
+#include "sim/kernel_config.hh"
 #include "sim/stabilizer.hh"
+#include "sim/stabilizer_reference.hh"
 
 namespace dcmbqc
 {
@@ -42,61 +45,6 @@ struct StabShot
     /** Photons lost to the noise channel (> 0 voids the shot). */
     int lostPhotons = 0;
 };
-
-StabShot
-runShot(const Pattern &pattern, const std::vector<int> &base_turns,
-        bool apply_byproducts, Rng &rng)
-{
-    const NodeId n = pattern.numNodes();
-    // Entangling commutes across qubits, so the whole graph state
-    // can be prepared up front; adaptivity lives in the angles only.
-    StabilizerSim sim(n);
-    sim.prepareGraphState(pattern.graph());
-
-    std::vector<int> sx(n, 0), sz(n, 0);
-    for (NodeId m : pattern.measurementOrder()) {
-        // Adapted angle (-1)^{sx} theta + sz*pi, exactly in integer
-        // quarter turns — no float drift over long patterns.
-        const int k =
-            (((sx[m] ? -base_turns[m] : base_turns[m]) +
-              (sz[m] ? 2 : 0)) % 4 + 4) % 4;
-        // Conjugate by P(-k*pi/2), then measure X: measures
-        // cos(a) X + sin(a) Y, i.e. the XY basis {|+_a>, |-_a>}.
-        switch (k) {
-          case 1: sim.applySdg(m); break;
-          case 2: sim.applyZ(m); break;
-          case 3: sim.applyS(m); break;
-          default: break;
-        }
-        const StabMeasureResult mr = sim.measureX(m, rng);
-        if (mr.outcome) {
-            const NodeId succ = pattern.flow(m);
-            sx[succ] ^= 1;
-            for (const auto &adj : pattern.graph().adjacency(succ))
-                if (adj.neighbor != m)
-                    sz[adj.neighbor] ^= 1;
-        }
-    }
-
-    StabShot shot;
-    const auto &outputs = pattern.outputs();
-    shot.bits.assign(outputs.size(), '0');
-    for (std::size_t w = 0; w < outputs.size(); ++w) {
-        const NodeId o = outputs[w];
-        if (apply_byproducts) {
-            if (sz[o])
-                sim.applyZ(o);
-            if (sx[o])
-                sim.applyX(o);
-        }
-        const StabMeasureResult mr = sim.measureZ(o, rng);
-        if (mr.outcome)
-            shot.bits[w] = '1';
-        if (!mr.deterministic)
-            ++shot.randomOutputs;
-    }
-    return shot;
-}
 
 } // namespace
 
@@ -141,10 +89,9 @@ StabilizerBackend::run(const ExecProgram &program,
     result.threads = resolveThreads(options.numThreads, options.shots);
 
     std::vector<StabShot> shots(options.shots);
-    forEachShot(options.shots, result.threads, [&](int shot) {
-        Rng rng(shotSeed(options.seed, shot));
-        shots[shot] = runShot(pattern, base_turns,
-                              options.applyByproducts, rng);
+    const auto post = [&](int shot, StabReplayResult r) {
+        shots[shot].bits = std::move(r.bits);
+        shots[shot].randomOutputs = r.randomOutputs;
         if (channel->active()) {
             Rng noise_rng(shotSeed(options.seed, shot) ^
                           kNoiseStreamSalt);
@@ -153,7 +100,17 @@ StabilizerBackend::run(const ExecProgram &program,
             if (shots[shot].lostPhotons == 0)
                 channel->applyFlips(noise_rng, shots[shot].bits);
         }
-    });
+    };
+    if (simKernelConfig().packedTableau)
+        sampleStabShots<StabilizerSim>(
+            pattern, pattern.measurementOrder(), base_turns,
+            options.applyByproducts, options.shots, result.threads,
+            options.seed, simKernelConfig().shotTree, post);
+    else
+        sampleStabShots<ScalarStabilizerSim>(
+            pattern, pattern.measurementOrder(), base_turns,
+            options.applyByproducts, options.shots, result.threads,
+            options.seed, simKernelConfig().shotTree, post);
 
     for (StabShot &shot : shots) {
         if (shot.lostPhotons > 0) {

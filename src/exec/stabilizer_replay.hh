@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Stepper for replaying a Clifford measurement pattern on a
+ * stabilizer tableau in an arbitrary (correction-valid) measurement
+ * order — the shared core of the stabilizer and schedule backends,
+ * which differ only in the order they pass. Templated over the
+ * tableau type so the same shot loop runs the bit-packed
+ * StabilizerSim or the scalar ScalarStabilizerSim oracle, selected
+ * per run from simKernelConfig().packedTableau.
+ *
+ * Plugs into ShotTree / runShotNaive (see exec/shot_tree.hh). The
+ * decisions are exactly the random measurements: a deterministic
+ * measurement consumes no RNG (matching StabilizerSim::measureZ),
+ * so the bernoulli(0.5) draw sequence — and therefore every shot —
+ * is bit-identical to the historical per-shot replay.
+ */
+
+#ifndef DCMBQC_EXEC_STABILIZER_REPLAY_HH
+#define DCMBQC_EXEC_STABILIZER_REPLAY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "exec/backend.hh"
+#include "exec/shot_tree.hh"
+#include "mbqc/pattern.hh"
+#include "sim/stabilizer.hh"
+
+namespace dcmbqc
+{
+
+/** One sampled shot of a stabilizer pattern replay. */
+struct StabReplayResult
+{
+    std::string bits;
+
+    /** Non-deterministic output measurements in this shot. */
+    int randomOutputs = 0;
+};
+
+template <class Sim>
+class StabReplayStepper
+{
+  public:
+    using Result = StabReplayResult;
+
+    struct State
+    {
+        Sim sim;
+        std::vector<int> sx, sz;
+        std::size_t step = 0; ///< index into the measurement order
+        std::size_t wire = 0; ///< index into the outputs
+        /**
+         * Stopped at a random decision: the conjugation and the
+         * measureX H (or the output byproducts) are already applied.
+         */
+        bool pending = false;
+        Result partial;
+
+        explicit State(int n) : sim(n), sx(n, 0), sz(n, 0) {}
+    };
+
+    /** All referents must outlive the stepper. */
+    StabReplayStepper(const Pattern &pattern,
+                      const std::vector<NodeId> &order,
+                      const std::vector<int> &base_turns,
+                      bool apply_byproducts)
+        : pattern_(&pattern), order_(&order), turns_(&base_turns),
+          applyByproducts_(apply_byproducts)
+    {
+    }
+
+    State root() const
+    {
+        State s(pattern_->numNodes());
+        // Entangling commutes across qubits, so the whole graph
+        // state can be prepared up front; adaptivity lives in the
+        // angles only.
+        s.sim.prepareGraphState(pattern_->graph());
+        s.partial.bits.assign(pattern_->outputs().size(), '0');
+        return s;
+    }
+
+    bool advance(State &s) const
+    {
+        const auto &order = *order_;
+        while (s.step < order.size()) {
+            const NodeId m = order[s.step];
+            if (!s.pending) {
+                // Adapted angle (-1)^{sx} theta + sz*pi, exactly in
+                // integer quarter turns; conjugate by P(-k*pi/2) and
+                // open the measureX H so the pending measurement is
+                // plain Z-basis.
+                const int k =
+                    (((s.sx[m] ? -(*turns_)[m] : (*turns_)[m]) +
+                      (s.sz[m] ? 2 : 0)) % 4 + 4) % 4;
+                switch (k) {
+                  case 1: s.sim.applySdg(m); break;
+                  case 2: s.sim.applyZ(m); break;
+                  case 3: s.sim.applyS(m); break;
+                  default: break;
+                }
+                s.sim.applyH(m);
+                s.pending = true;
+            }
+            if (s.sim.zMeasurementIsRandom(m))
+                return false;
+            const StabMeasureResult mr =
+                s.sim.measureZWithOutcome(m, 0);
+            s.sim.applyH(m);
+            s.pending = false;
+            finishMeasure(s, m, mr.outcome);
+        }
+
+        const auto &outputs = pattern_->outputs();
+        while (s.wire < outputs.size()) {
+            const NodeId o = outputs[s.wire];
+            if (!s.pending) {
+                if (applyByproducts_) {
+                    if (s.sz[o])
+                        s.sim.applyZ(o);
+                    if (s.sx[o])
+                        s.sim.applyX(o);
+                }
+                s.pending = true;
+            }
+            if (s.sim.zMeasurementIsRandom(o))
+                return false;
+            const StabMeasureResult mr =
+                s.sim.measureZWithOutcome(o, 0);
+            s.pending = false;
+            if (mr.outcome)
+                s.partial.bits[s.wire] = '1';
+            ++s.wire;
+        }
+        return true;
+    }
+
+    double prob0(const State &) const { return 0.5; }
+
+    /** Identical RNG use to StabilizerSim::measureZ's random case. */
+    int draw(Rng &rng, double) const
+    {
+        return rng.bernoulli(0.5) ? 1 : 0;
+    }
+
+    void applyOutcome(State &s, int outcome) const
+    {
+        const auto &order = *order_;
+        if (s.step < order.size()) {
+            const NodeId m = order[s.step];
+            s.sim.measureZWithOutcome(m, outcome);
+            s.sim.applyH(m);
+            s.pending = false;
+            finishMeasure(s, m, outcome);
+            return;
+        }
+        const NodeId o = pattern_->outputs()[s.wire];
+        s.sim.measureZWithOutcome(o, outcome);
+        s.pending = false;
+        if (outcome)
+            s.partial.bits[s.wire] = '1';
+        ++s.partial.randomOutputs;
+        ++s.wire;
+    }
+
+    Result result(const State &s) const { return s.partial; }
+
+    std::size_t stateBytes(const State &s) const
+    {
+        return s.sim.footprintWords() * sizeof(std::uint64_t) +
+            (s.sx.size() + s.sz.size()) * sizeof(int) +
+            s.partial.bits.size() + sizeof(State);
+    }
+
+  private:
+    void finishMeasure(State &s, NodeId m, int outcome) const
+    {
+        if (outcome) {
+            // Flow corrections: X on f(m), Z on N(f(m)) \ {m}.
+            const NodeId succ = pattern_->flow(m);
+            s.sx[succ] ^= 1;
+            for (const auto &adj :
+                 pattern_->graph().adjacency(succ))
+                if (adj.neighbor != m)
+                    s.sz[adj.neighbor] ^= 1;
+        }
+        ++s.step;
+    }
+
+    const Pattern *pattern_;
+    const std::vector<NodeId> *order_;
+    const std::vector<int> *turns_;
+    bool applyByproducts_;
+};
+
+/**
+ * Sample `shots` shots of a Clifford pattern replay over the worker
+ * pool, through the shot prefix tree or the naive per-shot loop
+ * (bit-identical either way), calling post(shot, result) from the
+ * worker that sampled the shot. `post` must be safe to call
+ * concurrently for distinct shots.
+ */
+template <class Sim, class Post>
+void
+sampleStabShots(const Pattern &pattern,
+                const std::vector<NodeId> &order,
+                const std::vector<int> &base_turns,
+                bool apply_byproducts, int shots, int threads,
+                std::int64_t seed, bool use_tree, const Post &post)
+{
+    const StabReplayStepper<Sim> stepper(pattern, order, base_turns,
+                                         apply_byproducts);
+    if (use_tree) {
+        ShotTree<StabReplayStepper<Sim>> tree(stepper);
+        forEachShot(shots, threads, [&](int shot) {
+            Rng rng(shotSeed(seed, shot));
+            post(shot, tree.run(rng));
+        });
+        return;
+    }
+    forEachShot(shots, threads, [&](int shot) {
+        Rng rng(shotSeed(seed, shot));
+        post(shot, runShotNaive(stepper, rng));
+    });
+}
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_EXEC_STABILIZER_REPLAY_HH

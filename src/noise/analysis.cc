@@ -1,6 +1,7 @@
 #include "noise/analysis.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -28,13 +29,22 @@ lossOf(double survival)
     return std::min(1.0, std::max(0.0, 1.0 - survival));
 }
 
+std::atomic<long> g_exposure_calls{0};
+
 } // namespace
+
+long
+buildExposureCallCount()
+{
+    return g_exposure_calls.load(std::memory_order_relaxed);
+}
 
 NoiseExposure
 buildExposure(const Graph &g, const Digraph &deps,
               const std::vector<TimeSlot> &node_time,
               const std::vector<int> *assignment)
 {
+    g_exposure_calls.fetch_add(1, std::memory_order_relaxed);
     const NodeId n = g.numNodes();
     NoiseExposure exposure;
     exposure.sites.assign(n, NoiseSite{});

@@ -56,6 +56,15 @@ buildExposure(const Graph &g, const Digraph &deps,
               const std::vector<TimeSlot> &node_time,
               const std::vector<int> *assignment);
 
+/**
+ * Process-wide count of buildExposure calls. Exposure is a
+ * per-program derivation: backends must build it once per run and
+ * sample from it per shot. Tests snapshot this counter around a run
+ * to pin the hoist — a per-shot rebuild would scale the delta with
+ * the shot count.
+ */
+long buildExposureCallCount();
+
 /** Exposure scored against one model. */
 struct NoiseAnalysis
 {

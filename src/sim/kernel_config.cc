@@ -1,0 +1,42 @@
+#include "sim/kernel_config.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+SimKernelConfig
+defaults()
+{
+    SimKernelConfig config;
+#ifdef DCMBQC_SIM_REFERENCE
+    config.packedTableau = false;
+    config.shotTree = false;
+    config.svKernel = SvKernel::Portable;
+    config.fuseGates = false;
+#else
+    config.packedTableau = true;
+    config.shotTree = true;
+    config.svKernel = SvKernel::Auto;
+    config.fuseGates = true;
+#endif
+    return config;
+}
+
+} // namespace
+
+SimKernelConfig &
+simKernelConfig()
+{
+    static SimKernelConfig config = defaults();
+    return config;
+}
+
+void
+resetSimKernelConfig()
+{
+    simKernelConfig() = defaults();
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Runtime selection of the simulation kernel implementations. The
+ * fast paths (bit-packed tableau, AVX2 amplitude kernels, shot
+ * prefix tree) are the defaults; the scalar/naive reference paths
+ * stay alive as the test oracle and are selected either per process
+ * via this config or as the build default with the CMake option
+ * -DDCMBQC_SIM_REFERENCE=ON (which defines DCMBQC_SIM_REFERENCE).
+ *
+ * Every pair of paths is bit-identical by contract — same outcomes,
+ * same probabilities, same serialized artifacts — which is what
+ * tests/test_sim_kernels.cc pins. The config exists so one binary
+ * can run both sides of that equivalence.
+ */
+
+#ifndef DCMBQC_SIM_KERNEL_CONFIG_HH
+#define DCMBQC_SIM_KERNEL_CONFIG_HH
+
+namespace dcmbqc
+{
+
+/** Which dense amplitude kernel StateVector::apply1q runs. */
+enum class SvKernel
+{
+    /** AVX2 when the CPU supports it, else portable. */
+    Auto,
+
+    /** Scalar reference kernel (always available). */
+    Portable,
+
+    /** AVX2 kernel; silently falls back when unsupported. */
+    Avx2,
+};
+
+/**
+ * Process-wide kernel switches. Mutated only by tests and benches
+ * (single-threaded setup); the execution backends read it once per
+ * run, so toggling mid-run is undefined.
+ */
+struct SimKernelConfig
+{
+    /**
+     * Stabilizer-replay backends use the bit-packed tableau; false
+     * runs the scalar ScalarStabilizerSim oracle instead.
+     */
+    bool packedTableau;
+
+    /**
+     * Backends share the deterministic shot prefix through the
+     * fork-on-first-measurement tree; false re-runs the full
+     * pattern per shot (the pre-optimization behavior).
+     */
+    bool shotTree;
+
+    /** Amplitude kernel selection for StateVector. */
+    SvKernel svKernel;
+
+    /**
+     * StateVector::applyCircuit fuses runs of adjacent single-qubit
+     * gates on the same qubit into one 2x2 sweep. Fusion reassociates
+     * floating point (results agree to ~1 ULP per fused gate, not
+     * bit-exactly), so paths that demand bit-stability never go
+     * through applyCircuit.
+     */
+    bool fuseGates;
+};
+
+/** The mutable process-wide config (defaults per build mode). */
+SimKernelConfig &simKernelConfig();
+
+/** Reset to the build-mode defaults (test teardown helper). */
+void resetSimKernelConfig();
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_SIM_KERNEL_CONFIG_HH

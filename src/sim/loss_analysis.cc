@@ -1,6 +1,7 @@
 #include "sim/loss_analysis.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -9,11 +10,23 @@
 namespace dcmbqc
 {
 
+namespace
+{
+std::atomic<long> g_analyze_loss_calls{0};
+} // namespace
+
+long
+analyzeLossCallCount()
+{
+    return g_analyze_loss_calls.load(std::memory_order_relaxed);
+}
+
 LossAnalysis
 analyzeLoss(const Graph &fusee_edges, const Digraph &deps,
             const std::vector<TimeSlot> &node_time,
             const LossModel &model)
 {
+    g_analyze_loss_calls.fetch_add(1, std::memory_order_relaxed);
     const NodeId n = fusee_edges.numNodes();
     LossAnalysis result;
     result.storageCycles.assign(n, 0);

@@ -55,6 +55,14 @@ LossAnalysis analyzeLoss(const Graph &fusee_edges, const Digraph &deps,
                          const LossModel &model);
 
 /**
+ * Process-wide count of analyzeLoss calls. Like
+ * buildExposureCallCount(): the analysis is once-per-run work, and
+ * tests snapshot the counter around a backend run to pin the hoist
+ * out of the shot loop.
+ */
+long analyzeLossCallCount();
+
+/**
  * Monte-Carlo estimate of the success probability (each photon
  * independently survives its storage with the model's probability);
  * converges to LossAnalysis::successProbability and exists to

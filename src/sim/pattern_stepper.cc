@@ -1,0 +1,163 @@
+#include "sim/pattern_stepper.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+constexpr double pi = 3.14159265358979323846;
+} // namespace
+
+SvPatternStepper::State
+SvPatternStepper::root() const
+{
+    const NodeId n = pattern_->numNodes();
+    State s;
+    s.slot.assign(n, -1);
+    s.sx.assign(n, 0);
+    s.sz.assign(n, 0);
+    return s;
+}
+
+void
+SvPatternStepper::ensureCreated(State &s, NodeId v) const
+{
+    while (s.nextToCreate <= v) {
+        const NodeId u = s.nextToCreate++;
+        s.slot[u] = s.state.addQubitPlus();
+        s.slotOwner.push_back(u);
+        // Entangle with earlier, still-alive neighbors.
+        for (const auto &adj : pattern_->graph().adjacency(u)) {
+            if (adj.neighbor < u) {
+                DCMBQC_ASSERT(s.slot[adj.neighbor] >= 0,
+                              "edge to dead node ", adj.neighbor);
+                s.state.applyCZ(s.slot[u], s.slot[adj.neighbor]);
+            }
+        }
+    }
+}
+
+void
+SvPatternStepper::removeSlot(State &s, NodeId v) const
+{
+    const int freed = s.slot[v];
+    s.slot[v] = -1;
+    // Higher simulator qubits shift down by one.
+    s.slotOwner.erase(s.slotOwner.begin() + freed);
+    for (std::size_t q = freed; q < s.slotOwner.size(); ++q)
+        s.slot[s.slotOwner[q]] = static_cast<int>(q);
+}
+
+void
+SvPatternStepper::finishMeasure(State &s, NodeId m, int outcome) const
+{
+    if (outcome) {
+        // Flow corrections: X on f(m), Z on N(f(m)) \ {m}.
+        const NodeId succ = pattern_->flow(m);
+        s.sx[succ] ^= 1;
+        for (const auto &adj : pattern_->graph().adjacency(succ))
+            if (adj.neighbor != m)
+                s.sz[adj.neighbor] ^= 1;
+    }
+    ++s.step;
+}
+
+void
+SvPatternStepper::finalize(State &s) const
+{
+    // Mirror the tail of runPattern: create any trailing outputs,
+    // undo byproducts, and permute outputs into wire order.
+    const NodeId n = pattern_->numNodes();
+    ensureCreated(s, n - 1);
+    const auto &outputs = pattern_->outputs();
+    std::vector<int> order(outputs.size());
+    for (std::size_t w = 0; w < outputs.size(); ++w) {
+        DCMBQC_ASSERT(s.slot[outputs[w]] >= 0, "output not alive");
+        order[w] = s.slot[outputs[w]];
+    }
+    if (applyByproducts_) {
+        for (std::size_t w = 0; w < outputs.size(); ++w) {
+            if (s.sz[outputs[w]])
+                s.state.applyZ(s.slot[outputs[w]]);
+            if (s.sx[outputs[w]])
+                s.state.applyX(s.slot[outputs[w]]);
+        }
+    }
+    s.state = s.state.permuted(order);
+    s.bits.assign(outputs.size(), '0');
+    s.finalized = true;
+}
+
+bool
+SvPatternStepper::advance(State &s) const
+{
+    const auto &order = pattern_->measurementOrder();
+    if (s.step < order.size()) {
+        if (!s.pending) {
+            const NodeId m = order[s.step];
+            ensureCreated(s, pattern_->flow(m));
+            DCMBQC_ASSERT(s.slot[m] >= 0, "measuring dead node ", m);
+            s.pendingAngle =
+                (s.sx[m] ? -1.0 : 1.0) * pattern_->angle(m) +
+                (s.sz[m] ? pi : 0.0);
+            s.pending = true;
+        }
+        return false;
+    }
+    if (!s.finalized)
+        finalize(s);
+    if (s.wire < s.bits.size()) {
+        s.pending = true;
+        return false;
+    }
+    return true;
+}
+
+double
+SvPatternStepper::prob0(const State &s) const
+{
+    const auto &order = pattern_->measurementOrder();
+    if (s.step < order.size())
+        return s.state.prob0XY(s.slot[order[s.step]],
+                               s.pendingAngle);
+    // Wire w is simulator qubit w; removal shifts the rest down, so
+    // the front qubit is always the next wire.
+    return s.state.prob0Z(0);
+}
+
+void
+SvPatternStepper::applyOutcome(State &s, int outcome) const
+{
+    Rng unused(0); // forced outcomes consume no randomness
+    const auto &order = pattern_->measurementOrder();
+    if (s.step < order.size()) {
+        const NodeId m = order[s.step];
+        s.state.measureXYAndRemove(s.slot[m], s.pendingAngle, unused,
+                                   outcome);
+        removeSlot(s, m);
+        s.pending = false;
+        finishMeasure(s, m, outcome);
+        return;
+    }
+    s.state.measureZAndRemove(0, unused, outcome);
+    if (outcome)
+        s.bits[s.wire] = '1';
+    s.pending = false;
+    ++s.wire;
+}
+
+std::size_t
+SvPatternStepper::stateBytes(const State &s) const
+{
+    return s.state.amplitudes().size() *
+        sizeof(StateVector::Amplitude) +
+        (s.slot.size() + s.sx.size() + s.sz.size()) * sizeof(int) +
+        s.slotOwner.size() * sizeof(NodeId) + s.bits.size() +
+        sizeof(State);
+}
+
+} // namespace dcmbqc

@@ -1,44 +1,84 @@
 #include "sim/stabilizer.hh"
 
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace dcmbqc
 {
 
+namespace
+{
+
+constexpr int kWordBits = 64;
+
+int
+wordsFor(int num_qubits)
+{
+    return (num_qubits + kWordBits - 1) / kWordBits;
+}
+
+} // namespace
+
+PackedPauli::PackedPauli(const PauliString &p)
+    : xWords(wordsFor(static_cast<int>(p.xBits.size())), 0),
+      zWords(wordsFor(static_cast<int>(p.xBits.size())), 0),
+      negative(p.negative),
+      numQubits(static_cast<int>(p.xBits.size()))
+{
+    for (int q = 0; q < numQubits; ++q) {
+        const std::uint64_t mask = 1ull << (q & 63);
+        if (p.xBits[q])
+            xWords[q >> 6] |= mask;
+        if (p.zBits[q])
+            zWords[q >> 6] |= mask;
+    }
+}
+
 StabilizerSim::StabilizerSim(int num_qubits)
     : n_(num_qubits),
-      x_(2 * num_qubits + 1, std::vector<std::uint8_t>(num_qubits, 0)),
-      z_(2 * num_qubits + 1, std::vector<std::uint8_t>(num_qubits, 0)),
+      words_(wordsFor(num_qubits)),
+      x_((2 * num_qubits + 1) * static_cast<std::size_t>(words_), 0),
+      z_((2 * num_qubits + 1) * static_cast<std::size_t>(words_), 0),
       r_(2 * num_qubits + 1, 0)
 {
     DCMBQC_ASSERT(num_qubits >= 1, "stabilizer sim needs >= 1 qubit");
     for (int q = 0; q < n_; ++q) {
-        x_[q][q] = 1;        // destabilizer X_q
-        z_[n_ + q][q] = 1;   // stabilizer Z_q
+        const std::uint64_t mask = 1ull << (q & 63);
+        xRow(q)[q >> 6] |= mask;      // destabilizer X_q
+        zRow(n_ + q)[q >> 6] |= mask; // stabilizer Z_q
     }
-}
-
-int
-StabilizerSim::phaseG(int x1, int z1, int x2, int z2)
-{
-    // AG06 phase function: exponent of i contributed when
-    // multiplying Pauli (x1,z1) by (x2,z2).
-    if (x1 == 0 && z1 == 0)
-        return 0;
-    if (x1 == 1 && z1 == 1) // Y
-        return z2 - x2;
-    if (x1 == 1 && z1 == 0) // X
-        return z2 * (2 * x2 - 1);
-    // (0,1) Z
-    return x2 * (1 - 2 * z2);
 }
 
 void
 StabilizerSim::rowsum(int h, int i)
 {
+    // The AG06 phase exponent, evaluated for 64 qubit columns per
+    // word. With (x1,z1) the multiplier bits (row i) and (x2,z2) the
+    // target bits (row h), phaseG(x1,z1,x2,z2) is +1 exactly on
+    // columns matching x1 z1 z2 ~x2 | x1 ~z1 x2 z2 | ~x1 z1 x2 ~z2,
+    // -1 on the sign-mirrored triples, and 0 elsewhere, so the sum
+    // over columns is popcount(plus) - popcount(minus).
     int phase = 2 * (r_[h] + r_[i]);
-    for (int q = 0; q < n_; ++q)
-        phase += phaseG(x_[i][q], z_[i][q], x_[h][q], z_[h][q]);
+    std::uint64_t *xh = xRow(h);
+    std::uint64_t *zh = zRow(h);
+    const std::uint64_t *xi = xRow(i);
+    const std::uint64_t *zi = zRow(i);
+    for (int w = 0; w < words_; ++w) {
+        const std::uint64_t x1 = xi[w];
+        const std::uint64_t z1 = zi[w];
+        const std::uint64_t x2 = xh[w];
+        const std::uint64_t z2 = zh[w];
+        const std::uint64_t plus = (x1 & z1 & z2 & ~x2) |
+            (x1 & ~z1 & x2 & z2) | (~x1 & z1 & x2 & ~z2);
+        const std::uint64_t minus = (x1 & z1 & x2 & ~z2) |
+            (x1 & ~z1 & z2 & ~x2) | (~x1 & z1 & x2 & z2);
+        phase += popcount64(plus) - popcount64(minus);
+        xh[w] = x2 ^ x1;
+        zh[w] = z2 ^ z1;
+    }
     phase %= 4;
     if (phase < 0)
         phase += 4;
@@ -48,35 +88,40 @@ StabilizerSim::rowsum(int h, int i)
     DCMBQC_ASSERT(h < n_ || phase == 0 || phase == 2,
                   "rowsum: odd phase on stabilizer row");
     r_[h] = (phase == 2 || phase == 3) ? 1 : 0;
-    for (int q = 0; q < n_; ++q) {
-        x_[h][q] ^= x_[i][q];
-        z_[h][q] ^= z_[i][q];
-    }
 }
 
 void
 StabilizerSim::applyH(int q)
 {
+    const int w = q >> 6;
+    const std::uint64_t mask = 1ull << (q & 63);
     for (int row = 0; row < 2 * n_; ++row) {
-        r_[row] ^= x_[row][q] & z_[row][q];
-        std::swap(x_[row][q], z_[row][q]);
+        std::uint64_t &xw = xRow(row)[w];
+        std::uint64_t &zw = zRow(row)[w];
+        r_[row] ^= static_cast<std::uint8_t>((xw & zw & mask) != 0);
+        const std::uint64_t diff = (xw ^ zw) & mask;
+        xw ^= diff;
+        zw ^= diff;
     }
 }
 
 void
 StabilizerSim::applyS(int q)
 {
+    const int w = q >> 6;
+    const std::uint64_t mask = 1ull << (q & 63);
     for (int row = 0; row < 2 * n_; ++row) {
-        r_[row] ^= x_[row][q] & z_[row][q];
-        z_[row][q] ^= x_[row][q];
+        const std::uint64_t xw = xRow(row)[w];
+        std::uint64_t &zw = zRow(row)[w];
+        r_[row] ^= static_cast<std::uint8_t>((xw & zw & mask) != 0);
+        zw ^= xw & mask;
     }
 }
 
 void
 StabilizerSim::applySdg(int q)
 {
-    // Sdg = S Z = S three times; do it directly: Z first flips sign
-    // when x set, then S.
+    // Sdg = S Z: Z first flips sign when x set, then S.
     applyZ(q);
     applyS(q);
 }
@@ -84,25 +129,40 @@ StabilizerSim::applySdg(int q)
 void
 StabilizerSim::applyX(int q)
 {
+    const int w = q >> 6;
+    const std::uint64_t mask = 1ull << (q & 63);
     for (int row = 0; row < 2 * n_; ++row)
-        r_[row] ^= z_[row][q];
+        r_[row] ^= static_cast<std::uint8_t>((zRow(row)[w] & mask) != 0);
 }
 
 void
 StabilizerSim::applyZ(int q)
 {
+    const int w = q >> 6;
+    const std::uint64_t mask = 1ull << (q & 63);
     for (int row = 0; row < 2 * n_; ++row)
-        r_[row] ^= x_[row][q];
+        r_[row] ^= static_cast<std::uint8_t>((xRow(row)[w] & mask) != 0);
 }
 
 void
 StabilizerSim::applyCNOT(int control, int target)
 {
+    const int wc = control >> 6;
+    const int wt = target >> 6;
+    const std::uint64_t mc = 1ull << (control & 63);
+    const std::uint64_t mt = 1ull << (target & 63);
     for (int row = 0; row < 2 * n_; ++row) {
-        r_[row] ^= x_[row][control] & z_[row][target] &
-            (x_[row][target] ^ z_[row][control] ^ 1);
-        x_[row][target] ^= x_[row][control];
-        z_[row][control] ^= z_[row][target];
+        std::uint64_t *xw = xRow(row);
+        std::uint64_t *zw = zRow(row);
+        const int xc = (xw[wc] & mc) != 0;
+        const int zc = (zw[wc] & mc) != 0;
+        const int xt = (xw[wt] & mt) != 0;
+        const int zt = (zw[wt] & mt) != 0;
+        r_[row] ^= static_cast<std::uint8_t>(xc & zt & (xt ^ zc ^ 1));
+        if (xc)
+            xw[wt] ^= mt;
+        if (zt)
+            zw[wc] ^= mc;
     }
 }
 
@@ -114,44 +174,68 @@ StabilizerSim::applyCZ(int a, int b)
     applyH(b);
 }
 
-StabMeasureResult
-StabilizerSim::measureZ(int q, Rng &rng)
+bool
+StabilizerSim::zMeasurementIsRandom(int q) const
 {
+    const int w = q >> 6;
+    const std::uint64_t mask = 1ull << (q & 63);
+    for (int row = n_; row < 2 * n_; ++row)
+        if (xRow(row)[w] & mask)
+            return true;
+    return false;
+}
+
+StabMeasureResult
+StabilizerSim::measureZWithOutcome(int q, int forced_outcome)
+{
+    const int w = q >> 6;
+    const std::uint64_t mask = 1ull << (q & 63);
+
     int p = -1;
     for (int row = n_; row < 2 * n_; ++row) {
-        if (x_[row][q]) {
+        if (xRow(row)[w] & mask) {
             p = row;
             break;
         }
     }
 
     if (p >= 0) {
-        // Random outcome.
+        // Random outcome, forced onto the requested branch.
         for (int row = 0; row < 2 * n_; ++row)
-            if (row != p && x_[row][q])
+            if (row != p && (xRow(row)[w] & mask))
                 rowsum(row, p);
         // Destabilizer p-n becomes old stabilizer p.
-        x_[p - n_] = x_[p];
-        z_[p - n_] = z_[p];
+        std::memcpy(xRow(p - n_), xRow(p),
+                    sizeof(std::uint64_t) * words_);
+        std::memcpy(zRow(p - n_), zRow(p),
+                    sizeof(std::uint64_t) * words_);
         r_[p - n_] = r_[p];
         // New stabilizer is +/- Z_q.
-        std::fill(x_[p].begin(), x_[p].end(), 0);
-        std::fill(z_[p].begin(), z_[p].end(), 0);
-        z_[p][q] = 1;
-        const int outcome = rng.bernoulli(0.5) ? 1 : 0;
-        r_[p] = static_cast<std::uint8_t>(outcome);
-        return {outcome, false};
+        std::fill_n(xRow(p), words_, std::uint64_t{0});
+        std::fill_n(zRow(p), words_, std::uint64_t{0});
+        zRow(p)[w] = mask;
+        r_[p] = static_cast<std::uint8_t>(forced_outcome);
+        return {forced_outcome, false};
     }
 
     // Deterministic outcome: accumulate into the scratch row.
     const int scratch = 2 * n_;
-    std::fill(x_[scratch].begin(), x_[scratch].end(), 0);
-    std::fill(z_[scratch].begin(), z_[scratch].end(), 0);
+    std::fill_n(xRow(scratch), words_, std::uint64_t{0});
+    std::fill_n(zRow(scratch), words_, std::uint64_t{0});
     r_[scratch] = 0;
     for (int i = 0; i < n_; ++i)
-        if (x_[i][q])
+        if (xRow(i)[w] & mask)
             rowsum(scratch, i + n_);
     return {r_[scratch], true};
+}
+
+StabMeasureResult
+StabilizerSim::measureZ(int q, Rng &rng)
+{
+    if (!zMeasurementIsRandom(q))
+        return measureZWithOutcome(q, 0);
+    const int outcome = rng.bernoulli(0.5) ? 1 : 0;
+    return measureZWithOutcome(q, outcome);
 }
 
 StabMeasureResult
@@ -164,16 +248,28 @@ StabilizerSim::measureX(int q, Rng &rng)
 }
 
 int
+StabilizerSim::anticommutes(int row, const PackedPauli &p) const
+{
+    // Per-column symplectic product bit: (x_row & z_p) ^ (z_row &
+    // x_p). XOR-accumulating words preserves total bit parity since
+    // popcount(a ^ b) == popcount(a) + popcount(b) (mod 2).
+    DCMBQC_ASSERT(p.numQubits == n_, "Pauli size mismatch");
+    const std::uint64_t *xr = xRow(row);
+    const std::uint64_t *zr = zRow(row);
+    std::uint64_t acc = 0;
+    for (int w = 0; w < words_; ++w)
+        acc ^= (xr[w] & p.zWords[w]) ^ (zr[w] & p.xWords[w]);
+    return popcount64(acc) & 1;
+}
+
+int
 StabilizerSim::anticommutes(int row, const PauliString &p) const
 {
-    int parity = 0;
-    for (int q = 0; q < n_; ++q)
-        parity ^= (x_[row][q] & p.zBits[q]) ^ (z_[row][q] & p.xBits[q]);
-    return parity;
+    return anticommutes(row, PackedPauli(p));
 }
 
 bool
-StabilizerSim::isStabilizer(const PauliString &p) const
+StabilizerSim::isStabilizer(const PackedPauli &p) const
 {
     // P must commute with every stabilizer generator.
     for (int row = n_; row < 2 * n_; ++row)
@@ -185,17 +281,24 @@ StabilizerSim::isStabilizer(const PauliString &p) const
     // product in the scratch row and compare bits and sign.
     const int scratch = 2 * n_;
     auto *self = const_cast<StabilizerSim *>(this);
-    std::fill(self->x_[scratch].begin(), self->x_[scratch].end(), 0);
-    std::fill(self->z_[scratch].begin(), self->z_[scratch].end(), 0);
+    std::fill_n(self->xRow(scratch), words_, std::uint64_t{0});
+    std::fill_n(self->zRow(scratch), words_, std::uint64_t{0});
     self->r_[scratch] = 0;
     for (int i = 0; i < n_; ++i)
         if (anticommutes(i, p))
             self->rowsum(scratch, i + n_);
 
-    for (int q = 0; q < n_; ++q)
-        if (x_[scratch][q] != p.xBits[q] || z_[scratch][q] != p.zBits[q])
+    for (int w = 0; w < words_; ++w)
+        if (xRow(scratch)[w] != p.xWords[w] ||
+            zRow(scratch)[w] != p.zWords[w])
             return false;
     return r_[scratch] == (p.negative ? 1 : 0);
+}
+
+bool
+StabilizerSim::isStabilizer(const PauliString &p) const
+{
+    return isStabilizer(PackedPauli(p));
 }
 
 void

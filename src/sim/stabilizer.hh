@@ -1,11 +1,18 @@
 /**
  * @file
- * Aaronson-Gottesman stabilizer tableau simulator. Scales to
- * thousands of qubits for Clifford circuits; the tests use it to
- * verify graph-state stabilizers K_i = X_i prod_{j in N(i)} Z_j
+ * Aaronson-Gottesman stabilizer tableau simulator, bit-packed 64
+ * qubit columns per `uint64_t` word so row multiplication,
+ * anticommutation tests, and phase tracking run word-wide
+ * (XOR/AND/popcount) instead of per-Pauli. Scales to thousands of
+ * qubits for Clifford circuits; the tests use it to verify
+ * graph-state stabilizers K_i = X_i prod_{j in N(i)} Z_j
  * (Section II-A) and the removee property (a Z-basis measurement
  * detaches a node from the graph state up to Z byproducts on its
  * neighbors, Section II-B).
+ *
+ * The pre-packing scalar implementation survives as
+ * `ScalarStabilizerSim` (sim/stabilizer_reference.hh), the oracle
+ * the equivalence suite pins this class against bit-for-bit.
  */
 
 #ifndef DCMBQC_SIM_STABILIZER_HH
@@ -46,6 +53,22 @@ struct PauliString
     PauliString &withSign(bool minus) { negative = minus; return *this; }
 };
 
+/**
+ * Bit-packed view of a PauliString: 64 qubits per word, the layout
+ * the packed tableau multiplies against directly. Convert once,
+ * query many times.
+ */
+struct PackedPauli
+{
+    std::vector<std::uint64_t> xWords;
+    std::vector<std::uint64_t> zWords;
+    bool negative = false;
+    int numQubits = 0;
+
+    PackedPauli() = default;
+    explicit PackedPauli(const PauliString &p);
+};
+
 /** Result of a Z-basis measurement in the tableau. */
 struct StabMeasureResult
 {
@@ -78,10 +101,29 @@ class StabilizerSim
     StabMeasureResult measureX(int q, Rng &rng);
 
     /**
+     * Measure qubit q in Z forcing the outcome when it is random
+     * (no RNG consumed); a deterministic measurement ignores
+     * `forced_outcome`. The shot tree uses this to materialize a
+     * chosen branch.
+     */
+    StabMeasureResult measureZWithOutcome(int q, int forced_outcome);
+
+    /**
+     * True when measuring qubit q in Z would be random (some
+     * stabilizer generator anticommutes with Z_q). Non-destructive.
+     */
+    bool zMeasurementIsRandom(int q) const;
+
+    /**
      * Check whether the signed Pauli operator stabilizes the state
      * (P|psi> = +|psi>, including the sign in `p`).
      */
     bool isStabilizer(const PauliString &p) const;
+    bool isStabilizer(const PackedPauli &p) const;
+
+    /** Symplectic product of row i with an external Pauli. */
+    int anticommutes(int row, const PauliString &p) const;
+    int anticommutes(int row, const PackedPauli &p) const;
 
     /**
      * Prepare a graph state on this register: H on every qubit of
@@ -93,22 +135,51 @@ class StabilizerSim
     /** The canonical graph-state stabilizer K_i of graph g. */
     static PauliString graphStabilizer(const Graph &g, NodeId i);
 
+    /** Approximate footprint in uint64 words (shot-tree budgets). */
+    std::size_t footprintWords() const
+    {
+        return x_.size() + z_.size() + r_.size() / 8 + 8;
+    }
+
   private:
     // Tableau rows 0..n-1: destabilizers; n..2n-1: stabilizers;
-    // row 2n: scratch. Bits packed per qubit (uint8 for clarity).
+    // row 2n: scratch. Row r's qubit bits live in words_ per row at
+    // x_[r*words_ .. r*words_+words_), qubit q at word q>>6 bit q&63.
     int n_;
-    std::vector<std::vector<std::uint8_t>> x_;
-    std::vector<std::vector<std::uint8_t>> z_;
+    int words_;
+    std::vector<std::uint64_t> x_;
+    std::vector<std::uint64_t> z_;
     std::vector<std::uint8_t> r_; ///< phase bit per row (1 = minus)
 
-    /** AG rowsum: row h *= row i with phase tracking. */
+    std::uint64_t *xRow(int row) { return &x_[row * words_]; }
+    std::uint64_t *zRow(int row) { return &z_[row * words_]; }
+    const std::uint64_t *xRow(int row) const
+    {
+        return &x_[row * words_];
+    }
+    const std::uint64_t *zRow(int row) const
+    {
+        return &z_[row * words_];
+    }
+
+    int xBit(int row, int q) const
+    {
+        return static_cast<int>(
+            (xRow(row)[q >> 6] >> (q & 63)) & 1u);
+    }
+    int zBit(int row, int q) const
+    {
+        return static_cast<int>(
+            (zRow(row)[q >> 6] >> (q & 63)) & 1u);
+    }
+
+    /**
+     * AG rowsum: row h *= row i with phase tracking, word-wide. The
+     * AG phase exponent is accumulated as popcount(plus mask) -
+     * popcount(minus mask) per word instead of 64 scalar phaseG
+     * evaluations.
+     */
     void rowsum(int h, int i);
-
-    /** Phase-exponent contribution g(x1,z1,x2,z2) from AG. */
-    static int phaseG(int x1, int z1, int x2, int z2);
-
-    /** Symplectic product of row i with an external Pauli. */
-    int anticommutes(int row, const PauliString &p) const;
 };
 
 } // namespace dcmbqc

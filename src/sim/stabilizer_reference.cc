@@ -1,0 +1,228 @@
+#include "sim/stabilizer_reference.hh"
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+ScalarStabilizerSim::ScalarStabilizerSim(int num_qubits)
+    : n_(num_qubits),
+      x_(2 * num_qubits + 1, std::vector<std::uint8_t>(num_qubits, 0)),
+      z_(2 * num_qubits + 1, std::vector<std::uint8_t>(num_qubits, 0)),
+      r_(2 * num_qubits + 1, 0)
+{
+    DCMBQC_ASSERT(num_qubits >= 1, "stabilizer sim needs >= 1 qubit");
+    for (int q = 0; q < n_; ++q) {
+        x_[q][q] = 1;        // destabilizer X_q
+        z_[n_ + q][q] = 1;   // stabilizer Z_q
+    }
+}
+
+int
+ScalarStabilizerSim::phaseG(int x1, int z1, int x2, int z2)
+{
+    // AG06 phase function: exponent of i contributed when
+    // multiplying Pauli (x1,z1) by (x2,z2).
+    if (x1 == 0 && z1 == 0)
+        return 0;
+    if (x1 == 1 && z1 == 1) // Y
+        return z2 - x2;
+    if (x1 == 1 && z1 == 0) // X
+        return z2 * (2 * x2 - 1);
+    // (0,1) Z
+    return x2 * (1 - 2 * z2);
+}
+
+void
+ScalarStabilizerSim::rowsum(int h, int i)
+{
+    int phase = 2 * (r_[h] + r_[i]);
+    for (int q = 0; q < n_; ++q)
+        phase += phaseG(x_[i][q], z_[i][q], x_[h][q], z_[h][q]);
+    phase %= 4;
+    if (phase < 0)
+        phase += 4;
+    // Stabilizer and scratch rows always produce a real +/- sign;
+    // destabilizer rows may anticommute with the multiplier, and
+    // their phase bit is a don't-care in the AG tableau.
+    DCMBQC_ASSERT(h < n_ || phase == 0 || phase == 2,
+                  "rowsum: odd phase on stabilizer row");
+    r_[h] = (phase == 2 || phase == 3) ? 1 : 0;
+    for (int q = 0; q < n_; ++q) {
+        x_[h][q] ^= x_[i][q];
+        z_[h][q] ^= z_[i][q];
+    }
+}
+
+void
+ScalarStabilizerSim::applyH(int q)
+{
+    for (int row = 0; row < 2 * n_; ++row) {
+        r_[row] ^= x_[row][q] & z_[row][q];
+        std::swap(x_[row][q], z_[row][q]);
+    }
+}
+
+void
+ScalarStabilizerSim::applyS(int q)
+{
+    for (int row = 0; row < 2 * n_; ++row) {
+        r_[row] ^= x_[row][q] & z_[row][q];
+        z_[row][q] ^= x_[row][q];
+    }
+}
+
+void
+ScalarStabilizerSim::applySdg(int q)
+{
+    // Sdg = S Z = S three times; do it directly: Z first flips sign
+    // when x set, then S.
+    applyZ(q);
+    applyS(q);
+}
+
+void
+ScalarStabilizerSim::applyX(int q)
+{
+    for (int row = 0; row < 2 * n_; ++row)
+        r_[row] ^= z_[row][q];
+}
+
+void
+ScalarStabilizerSim::applyZ(int q)
+{
+    for (int row = 0; row < 2 * n_; ++row)
+        r_[row] ^= x_[row][q];
+}
+
+void
+ScalarStabilizerSim::applyCNOT(int control, int target)
+{
+    for (int row = 0; row < 2 * n_; ++row) {
+        r_[row] ^= x_[row][control] & z_[row][target] &
+            (x_[row][target] ^ z_[row][control] ^ 1);
+        x_[row][target] ^= x_[row][control];
+        z_[row][control] ^= z_[row][target];
+    }
+}
+
+void
+ScalarStabilizerSim::applyCZ(int a, int b)
+{
+    applyH(b);
+    applyCNOT(a, b);
+    applyH(b);
+}
+
+bool
+ScalarStabilizerSim::zMeasurementIsRandom(int q) const
+{
+    for (int row = n_; row < 2 * n_; ++row)
+        if (x_[row][q])
+            return true;
+    return false;
+}
+
+StabMeasureResult
+ScalarStabilizerSim::measureZWithOutcome(int q, int forced_outcome)
+{
+    int p = -1;
+    for (int row = n_; row < 2 * n_; ++row) {
+        if (x_[row][q]) {
+            p = row;
+            break;
+        }
+    }
+
+    if (p >= 0) {
+        // Random outcome, forced onto the requested branch.
+        for (int row = 0; row < 2 * n_; ++row)
+            if (row != p && x_[row][q])
+                rowsum(row, p);
+        // Destabilizer p-n becomes old stabilizer p.
+        x_[p - n_] = x_[p];
+        z_[p - n_] = z_[p];
+        r_[p - n_] = r_[p];
+        // New stabilizer is +/- Z_q.
+        std::fill(x_[p].begin(), x_[p].end(), 0);
+        std::fill(z_[p].begin(), z_[p].end(), 0);
+        z_[p][q] = 1;
+        r_[p] = static_cast<std::uint8_t>(forced_outcome);
+        return {forced_outcome, false};
+    }
+
+    // Deterministic outcome: accumulate into the scratch row.
+    const int scratch = 2 * n_;
+    std::fill(x_[scratch].begin(), x_[scratch].end(), 0);
+    std::fill(z_[scratch].begin(), z_[scratch].end(), 0);
+    r_[scratch] = 0;
+    for (int i = 0; i < n_; ++i)
+        if (x_[i][q])
+            rowsum(scratch, i + n_);
+    return {r_[scratch], true};
+}
+
+StabMeasureResult
+ScalarStabilizerSim::measureZ(int q, Rng &rng)
+{
+    if (!zMeasurementIsRandom(q))
+        return measureZWithOutcome(q, 0);
+    const int outcome = rng.bernoulli(0.5) ? 1 : 0;
+    return measureZWithOutcome(q, outcome);
+}
+
+StabMeasureResult
+ScalarStabilizerSim::measureX(int q, Rng &rng)
+{
+    applyH(q);
+    const auto result = measureZ(q, rng);
+    applyH(q);
+    return result;
+}
+
+int
+ScalarStabilizerSim::anticommutes(int row, const PauliString &p) const
+{
+    int parity = 0;
+    for (int q = 0; q < n_; ++q)
+        parity ^= (x_[row][q] & p.zBits[q]) ^ (z_[row][q] & p.xBits[q]);
+    return parity;
+}
+
+bool
+ScalarStabilizerSim::isStabilizer(const PauliString &p) const
+{
+    // P must commute with every stabilizer generator.
+    for (int row = n_; row < 2 * n_; ++row)
+        if (anticommutes(row, p))
+            return false;
+
+    // Express P as a product of stabilizer generators: generator i
+    // participates iff P anticommutes with destabilizer i. Build the
+    // product in the scratch row and compare bits and sign.
+    const int scratch = 2 * n_;
+    auto *self = const_cast<ScalarStabilizerSim *>(this);
+    std::fill(self->x_[scratch].begin(), self->x_[scratch].end(), 0);
+    std::fill(self->z_[scratch].begin(), self->z_[scratch].end(), 0);
+    self->r_[scratch] = 0;
+    for (int i = 0; i < n_; ++i)
+        if (anticommutes(i, p))
+            self->rowsum(scratch, i + n_);
+
+    for (int q = 0; q < n_; ++q)
+        if (x_[scratch][q] != p.xBits[q] || z_[scratch][q] != p.zBits[q])
+            return false;
+    return r_[scratch] == (p.negative ? 1 : 0);
+}
+
+void
+ScalarStabilizerSim::prepareGraphState(const Graph &g)
+{
+    DCMBQC_ASSERT(g.numNodes() <= n_, "graph larger than register");
+    for (NodeId u = 0; u < g.numNodes(); ++u)
+        applyH(u);
+    for (const auto &e : g.edges())
+        applyCZ(e.u, e.v);
+}
+
+} // namespace dcmbqc

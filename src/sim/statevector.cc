@@ -1,8 +1,11 @@
 #include "sim/statevector.hh"
 
+#include <array>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sim/kernel_config.hh"
+#include "sim/sv_kernels.hh"
 
 namespace dcmbqc
 {
@@ -13,6 +16,74 @@ namespace
 constexpr double pi = 3.14159265358979323846;
 const std::complex<double> iunit(0.0, 1.0);
 constexpr double invSqrt2 = 0.70710678118654752440;
+
+using Mat2 = std::array<StateVector::Amplitude, 4>;
+
+/**
+ * The 2x2 matrix of a single-qubit gate, with the same constant
+ * expressions the apply* methods use (so a fused run of length one
+ * is bit-identical to the unfused application). Returns false for
+ * multi-qubit gates.
+ */
+bool
+gateMatrix1q(const Gate &gate, Mat2 &m)
+{
+    switch (gate.kind) {
+      case GateKind::H:
+        m = {invSqrt2, invSqrt2, invSqrt2, -invSqrt2};
+        return true;
+      case GateKind::X:
+        m = {0, 1, 1, 0};
+        return true;
+      case GateKind::Y:
+        m = {0, -iunit, iunit, 0};
+        return true;
+      case GateKind::Z:
+        m = {1, 0, 0, -1};
+        return true;
+      case GateKind::S:
+        m = {1, 0, 0, iunit};
+        return true;
+      case GateKind::Sdg:
+        m = {1, 0, 0, -iunit};
+        return true;
+      case GateKind::T:
+        m = {1, 0, 0, std::exp(iunit * (pi / 4))};
+        return true;
+      case GateKind::Tdg:
+        m = {1, 0, 0, std::exp(-iunit * (pi / 4))};
+        return true;
+      case GateKind::RX: {
+        const double c = std::cos(gate.angle / 2);
+        const double s = std::sin(gate.angle / 2);
+        m = {c, -iunit * s, -iunit * s, c};
+        return true;
+      }
+      case GateKind::RY: {
+        const double c = std::cos(gate.angle / 2);
+        const double s = std::sin(gate.angle / 2);
+        m = {c, -s, s, c};
+        return true;
+      }
+      case GateKind::RZ:
+        m = {std::exp(-iunit * (gate.angle / 2)), 0, 0,
+             std::exp(iunit * (gate.angle / 2))};
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** m <- a * m (compose gate a after the pending matrix m). */
+void
+composeLeft(const Mat2 &a, Mat2 &m)
+{
+    const Mat2 prev = m;
+    m[0] = a[0] * prev[0] + a[1] * prev[2];
+    m[1] = a[0] * prev[1] + a[1] * prev[3];
+    m[2] = a[2] * prev[0] + a[3] * prev[2];
+    m[3] = a[2] * prev[1] + a[3] * prev[3];
+}
 
 } // namespace
 
@@ -61,18 +132,8 @@ StateVector::apply1q(int q, Amplitude m00, Amplitude m01, Amplitude m10,
                      Amplitude m11)
 {
     DCMBQC_ASSERT(q >= 0 && q < numQubits_, "apply1q: bad qubit ", q);
-    const std::size_t stride = static_cast<std::size_t>(1) << q;
-    for (std::size_t base = 0; base < amps_.size();
-         base += 2 * stride) {
-        for (std::size_t offset = 0; offset < stride; ++offset) {
-            const std::size_t i0 = base + offset;
-            const std::size_t i1 = i0 + stride;
-            const Amplitude a0 = amps_[i0];
-            const Amplitude a1 = amps_[i1];
-            amps_[i0] = m00 * a0 + m01 * a1;
-            amps_[i1] = m10 * a0 + m11 * a1;
-        }
-    }
+    const Amplitude m[4] = {m00, m01, m10, m11};
+    sv::apply1q(amps_.data(), amps_.size(), q, m);
 }
 
 void
@@ -244,8 +305,42 @@ StateVector::applyCircuit(const Circuit &circuit)
 {
     DCMBQC_ASSERT(circuit.numQubits() <= numQubits_,
                   "circuit wider than register");
-    for (const auto &gate : circuit.gates())
+    if (!simKernelConfig().fuseGates) {
+        for (const auto &gate : circuit.gates())
+            applyGate(gate);
+        return;
+    }
+
+    // Fuse runs of single-qubit gates per qubit into one 2x2 matrix
+    // so each run costs a single amplitude sweep; a multi-qubit gate
+    // flushes only the qubits it touches.
+    std::vector<Mat2> pending(numQubits_);
+    std::vector<char> hasPending(numQubits_, 0);
+    auto flush = [&](int q) {
+        if (q >= 0 && q < numQubits_ && hasPending[q]) {
+            hasPending[q] = 0;
+            apply1q(q, pending[q][0], pending[q][1], pending[q][2],
+                    pending[q][3]);
+        }
+    };
+
+    for (const auto &gate : circuit.gates()) {
+        Mat2 m;
+        if (gateMatrix1q(gate, m)) {
+            if (hasPending[gate.q0])
+                composeLeft(m, pending[gate.q0]);
+            else
+                pending[gate.q0] = m;
+            hasPending[gate.q0] = 1;
+            continue;
+        }
+        flush(gate.q0);
+        flush(gate.q1);
+        flush(gate.q2);
         applyGate(gate);
+    }
+    for (int q = 0; q < numQubits_; ++q)
+        flush(q);
 }
 
 MeasureResult
@@ -354,6 +449,46 @@ StateVector::measureZAndRemove(int q, Rng &rng, int forced_outcome)
     amps_ = std::move(collapsed);
     --numQubits_;
     return {outcome, prob};
+}
+
+double
+StateVector::prob0XY(int q, double theta) const
+{
+    DCMBQC_ASSERT(q >= 0 && q < numQubits_, "prob0XY: bad qubit ", q);
+    // Mirrors measureXYAndRemove -> measureAndRemove's project(b0,
+    // b1) accumulation term for term so the sum rounds identically.
+    const Amplitude b0 = invSqrt2;
+    const Amplitude b1 = std::exp(iunit * theta) * invSqrt2;
+    const std::size_t stride = static_cast<std::size_t>(1) << q;
+    const std::size_t half = amps_.size() / 2;
+    double prob = 0.0;
+    for (std::size_t r = 0; r < half; ++r) {
+        const std::size_t low = r & (stride - 1);
+        const std::size_t high = (r >> q) << (q + 1);
+        const std::size_t i0 = high | low;
+        const std::size_t i1 = i0 | stride;
+        const Amplitude value =
+            std::conj(b0) * amps_[i0] + std::conj(b1) * amps_[i1];
+        prob += std::norm(value);
+    }
+    return prob;
+}
+
+double
+StateVector::prob0Z(int q) const
+{
+    DCMBQC_ASSERT(q >= 0 && q < numQubits_, "prob0Z: bad qubit ", q);
+    // Mirrors measureZAndRemove's extract(0) accumulation.
+    const std::size_t stride = static_cast<std::size_t>(1) << q;
+    const std::size_t half = amps_.size() / 2;
+    double prob = 0.0;
+    for (std::size_t r = 0; r < half; ++r) {
+        const std::size_t low = r & (stride - 1);
+        const std::size_t high = (r >> q) << (q + 1);
+        const std::size_t idx = high | low;
+        prob += std::norm(amps_[idx]);
+    }
+    return prob;
 }
 
 double

@@ -1,0 +1,76 @@
+#include "sim/sv_kernels.hh"
+
+#include "sim/kernel_config.hh"
+
+namespace dcmbqc
+{
+namespace sv
+{
+
+bool
+cpuHasAvx2()
+{
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    static const bool supported = __builtin_cpu_supports("avx2");
+    return supported;
+#else
+    return false;
+#endif
+}
+
+void
+apply1qPortable(Amp *amps, std::size_t size, int q, const Amp m[4])
+{
+    // Work on raw doubles with the exact operation order the AVX2
+    // kernel uses: per product (mr*ar - mi*ai, mr*ai + mi*ar), then
+    // one componentwise add of the two products. Bit-identical to
+    // the AVX2 path by construction (this TU builds with
+    // -ffp-contract=off, so no FMA contraction on either side).
+    const double m00r = m[0].real(), m00i = m[0].imag();
+    const double m01r = m[1].real(), m01i = m[1].imag();
+    const double m10r = m[2].real(), m10i = m[2].imag();
+    const double m11r = m[3].real(), m11i = m[3].imag();
+    double *d = reinterpret_cast<double *>(amps);
+    const std::size_t stride = static_cast<std::size_t>(1) << q;
+    for (std::size_t base = 0; base < size; base += 2 * stride) {
+        for (std::size_t offset = 0; offset < stride; ++offset) {
+            const std::size_t i0 = 2 * (base + offset);
+            const std::size_t i1 = i0 + 2 * stride;
+            const double a0r = d[i0], a0i = d[i0 + 1];
+            const double a1r = d[i1], a1i = d[i1 + 1];
+            d[i0] = (m00r * a0r - m00i * a0i) +
+                (m01r * a1r - m01i * a1i);
+            d[i0 + 1] = (m00r * a0i + m00i * a0r) +
+                (m01r * a1i + m01i * a1r);
+            d[i1] = (m10r * a0r - m10i * a0i) +
+                (m11r * a1r - m11i * a1i);
+            d[i1 + 1] = (m10r * a0i + m10i * a0r) +
+                (m11r * a1i + m11i * a1r);
+        }
+    }
+}
+
+void
+apply1q(Amp *amps, std::size_t size, int q, const Amp m[4])
+{
+    switch (simKernelConfig().svKernel) {
+      case SvKernel::Portable:
+        apply1qPortable(amps, size, q, m);
+        return;
+      case SvKernel::Auto:
+      case SvKernel::Avx2:
+#if defined(__x86_64__) || defined(_M_X64)
+        if (cpuHasAvx2()) {
+            apply1qAvx2(amps, size, q, m);
+            return;
+        }
+#endif
+        apply1qPortable(amps, size, q, m);
+        return;
+    }
+    apply1qPortable(amps, size, q, m);
+}
+
+} // namespace sv
+} // namespace dcmbqc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Dense amplitude kernels behind StateVector. The single-qubit
+ * butterfly (the hot loop of every gate and of MBQC pattern
+ * execution) exists twice: a portable scalar kernel and an AVX2
+ * kernel processing two complex amplitudes per vector, selected at
+ * runtime via simKernelConfig().svKernel plus CPUID detection.
+ *
+ * Both kernels perform the IEEE-754 operations in the same order —
+ * complex multiply as (ar*br - ai*bi, ar*bi + ai*br) with separate
+ * mul/add (never FMA; the TUs compile with -ffp-contract=off) — so
+ * their results are bit-identical, which tests/test_sim_kernels.cc
+ * asserts to exact ULP.
+ */
+
+#ifndef DCMBQC_SIM_SV_KERNELS_HH
+#define DCMBQC_SIM_SV_KERNELS_HH
+
+#include <complex>
+#include <cstddef>
+
+namespace dcmbqc
+{
+namespace sv
+{
+
+using Amp = std::complex<double>;
+
+/** True when the CPU executes AVX2 (cached CPUID probe). */
+bool cpuHasAvx2();
+
+/**
+ * Apply the 2x2 unitary m = {m00, m01, m10, m11} to qubit q of the
+ * 2^n amplitude array: for each index pair (i0, i1 = i0 + 2^q),
+ * a[i0] <- m00 a[i0] + m01 a[i1]; a[i1] <- m10 a[i0] + m11 a[i1].
+ */
+void apply1qPortable(Amp *amps, std::size_t size, int q,
+                     const Amp m[4]);
+
+#if defined(__x86_64__) || defined(_M_X64)
+/**
+ * AVX2 variant of apply1qPortable; q == 0 (stride 1) falls through
+ * to the portable kernel. Call only when cpuHasAvx2().
+ */
+void apply1qAvx2(Amp *amps, std::size_t size, int q, const Amp m[4]);
+#endif
+
+/** Dispatch per simKernelConfig().svKernel and CPU support. */
+void apply1q(Amp *amps, std::size_t size, int q, const Amp m[4]);
+
+} // namespace sv
+} // namespace dcmbqc
+
+#endif // DCMBQC_SIM_SV_KERNELS_HH

@@ -18,6 +18,7 @@
 #include "circuit/generators.hh"
 #include "common/rng.hh"
 #include "mbqc/pattern_builder.hh"
+#include "sim/kernel_config.hh"
 #include "sim/pattern_runner.hh"
 #include "sim/stabilizer.hh"
 #include "sim/statevector.hh"
@@ -264,6 +265,89 @@ TEST(Differential, ScheduleBackendMatchesStabilizerOnCliffordInputs)
                                        /*gates=*/8 + seed % 13,
                                        4000 + seed,
                                        /*qpus=*/2 + seed % 3);
+}
+
+/** Execute `program` on `backend` under one kernel configuration. */
+ExecResult
+runUnderConfig(const ExecProgram &program, const char *backend,
+               std::int64_t seed, const SimKernelConfig &config)
+{
+    simKernelConfig() = config;
+    ExecOptions options;
+    options.backend = backend;
+    options.shots = 24;
+    options.seed = seed;
+    auto result = executeProgram(program, options);
+    resetSimKernelConfig();
+    EXPECT_TRUE(result.ok()) << result.status().toString();
+    return result.ok() ? *result : ExecResult{};
+}
+
+/**
+ * The kernel-configuration axis: the same 64-circuit corpus the
+ * schedule differential runs, executed once per kernel configuration
+ * — full reference (scalar tableau, naive shot loop, portable
+ * amplitudes), packed tableau alone, and the full fast stack — with
+ * every configuration required to produce *identical* results: same
+ * counts, same exact probability maps (double-equality, not
+ * tolerance). This pins the optimization itself, not just backend
+ * pairs: a packed-tableau phase bug or a shot-tree RNG drift flips a
+ * sampled outcome and fails the EXPECT_EQ on counts.
+ */
+TEST(Differential, KernelConfigurationsAreBitIdenticalOnTheCorpus)
+{
+    const SimKernelConfig reference{/*packedTableau=*/false,
+                                    /*shotTree=*/false,
+                                    SvKernel::Portable,
+                                    /*fuseGates=*/false};
+    const SimKernelConfig packed_only{/*packedTableau=*/true,
+                                      /*shotTree=*/false,
+                                      SvKernel::Portable,
+                                      /*fuseGates=*/false};
+    const SimKernelConfig fast{/*packedTableau=*/true,
+                               /*shotTree=*/true, SvKernel::Auto,
+                               /*fuseGates=*/true};
+
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        const int qubits = 2 + static_cast<int>(seed % 4);
+        const int gates = 8 + static_cast<int>(seed % 13);
+        const int qpus = 2 + static_cast<int>(seed % 3);
+        SCOPED_TRACE("qubits=" + std::to_string(qubits) +
+                     " gates=" + std::to_string(gates) +
+                     " seed=" + std::to_string(4000 + seed) +
+                     " qpus=" + std::to_string(qpus));
+        const CompilerDriver driver(CompileOptions()
+                                        .numQpus(qpus)
+                                        .gridSize(7)
+                                        .seed(4000 + seed));
+        const auto request = CompileRequest::fromCircuit(
+            makeRandomCliffordCircuit(qubits, gates, 4000 + seed),
+            "kernel-axis");
+        auto report = driver.compile(request);
+        ASSERT_TRUE(report.ok()) << report.status().toString();
+        const ExecProgram program =
+            ExecProgram::fromPattern(*report->pattern, "kernel-axis")
+                .withSchedule(*report->distributed);
+
+        for (const char *backend :
+             {"statevector", "stabilizer", "schedule"}) {
+            SCOPED_TRACE(backend);
+            const std::int64_t exec_seed =
+                static_cast<std::int64_t>(seed);
+            const ExecResult base =
+                runUnderConfig(program, backend, exec_seed,
+                               reference);
+            for (const SimKernelConfig &config :
+                 {packed_only, fast}) {
+                const ExecResult got = runUnderConfig(
+                    program, backend, exec_seed, config);
+                EXPECT_EQ(base.counts, got.counts);
+                EXPECT_EQ(base.probabilities, got.probabilities);
+                EXPECT_EQ(base.completedShots, got.completedShots);
+                EXPECT_EQ(base.notes, got.notes);
+            }
+        }
+    }
 }
 
 TEST(Differential, ScheduleBackendLossMatchesAnalyticSurvival)

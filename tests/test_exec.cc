@@ -15,8 +15,10 @@
 
 #include "api/api.hh"
 #include "circuit/generators.hh"
+#include "noise/analysis.hh"
 #include "serialize/codecs.hh"
 #include "serialize/json.hh"
+#include "sim/loss_analysis.hh"
 
 namespace dcmbqc
 {
@@ -323,6 +325,52 @@ TEST(ExecParallelism, ShotSamplingIsThreadCountInvariant)
         copy.threads = a->executions[0].threads;
         expectSameExecResult(a->executions[0], copy);
     }
+}
+
+TEST(ExecLossBackend, OncePerRunAnalysisIsHoistedOutOfTheShotLoop)
+{
+    // mc-loss samples thousands of shots from one analytic
+    // derivation; rebuilding that derivation inside the shot loop
+    // would be quadratic-ish waste invisible to result checks, so
+    // the call counters pin it structurally: delta must be exactly
+    // one per run, independent of the shot count.
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(13));
+    const auto request = CompileRequest::fromCircuit(
+        makeRandomCliffordCircuit(4, 14, 21), "hoist");
+    auto report = driver.compile(request);
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    const ExecProgram program =
+        ExecProgram::fromRequest(request).withSchedule(
+            report->result());
+
+    // Legacy storage-only path: analyzeLoss is the per-run work.
+    ExecOptions legacy;
+    legacy.backend = "mc-loss";
+    legacy.shots = 512;
+    legacy.seed = 6;
+    legacy.lossModel.cyclePeriodNs = 30.0;
+    const long loss_before = analyzeLossCallCount();
+    auto a = executeProgram(program, legacy);
+    ASSERT_TRUE(a.ok()) << a.status().toString();
+    EXPECT_EQ(analyzeLossCallCount() - loss_before, 1);
+
+    // Mechanism path: the schedule-derived exposure feeds every
+    // shot's sampling probabilities but must be built once per run.
+    // The correlated mechanism also exercises the per-worker mask
+    // reuse in the shot loop.
+    ExecOptions noisy = legacy;
+    NoiseConfig noise;
+    noise.add("connector", {{"insertion_loss_db", 1.0}})
+        .add("correlated-burst",
+             {{"burst_rate", 0.02}, {"burst_width", 3.0}});
+    noisy.noise = noise;
+    const long exposure_before = buildExposureCallCount();
+    auto b = executeProgram(program, noisy);
+    ASSERT_TRUE(b.ok()) << b.status().toString();
+    EXPECT_EQ(buildExposureCallCount() - exposure_before, 1);
+    EXPECT_EQ(b->shots, 512);
+    EXPECT_EQ(b->completedShots + b->lostShots, b->shots);
 }
 
 TEST(ExecDriver, CompileAndExecuteRecordsStagesAndStatistics)

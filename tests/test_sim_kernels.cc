@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Equivalence suite for the optimized simulation kernels: the
+ * bit-packed tableau against the scalar reference (outcomes,
+ * deterministic/random verdicts, isStabilizer/anticommutes on random
+ * PauliStrings, 200+ seeded circuits), the AVX2 amplitude kernel
+ * against the portable kernel to exact ULP, the shot prefix tree
+ * against the naive per-shot loop under identical seeds, and
+ * thread-count invariance of the tree-based shot scheduler. Every
+ * fast path must be *bit-identical* to its reference — these tests
+ * use EXPECT_EQ / memcmp, never tolerances, except for gate fusion
+ * which documents its ~ULP reassociation error explicitly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "api/api.hh"
+#include "circuit/generators.hh"
+#include "common/rng.hh"
+#include "sim/kernel_config.hh"
+#include "sim/stabilizer.hh"
+#include "sim/stabilizer_reference.hh"
+#include "sim/statevector.hh"
+#include "sim/sv_kernels.hh"
+
+namespace dcmbqc
+{
+namespace
+{
+
+/** Replay a Clifford circuit on either tableau implementation. */
+template <class Sim>
+void
+applyClifford(const Circuit &circuit, Sim &sim)
+{
+    for (const Gate &gate : circuit.gates()) {
+        switch (gate.kind) {
+          case GateKind::H: sim.applyH(gate.q0); break;
+          case GateKind::S: sim.applyS(gate.q0); break;
+          case GateKind::Sdg: sim.applySdg(gate.q0); break;
+          case GateKind::X: sim.applyX(gate.q0); break;
+          case GateKind::Z: sim.applyZ(gate.q0); break;
+          case GateKind::CZ: sim.applyCZ(gate.q0, gate.q1); break;
+          case GateKind::CNOT:
+            sim.applyCNOT(gate.q0, gate.q1);
+            break;
+          default:
+            FAIL() << "non-Clifford gate " << gate.toString();
+        }
+    }
+}
+
+/** A uniformly random signed Pauli on `qubits` qubits. */
+PauliString
+randomPauli(int qubits, Rng &rng)
+{
+    PauliString p(qubits);
+    for (int q = 0; q < qubits; ++q) {
+        switch (rng.uniformInt(4)) {
+          case 1: p.withX(q); break;
+          case 2: p.withZ(q); break;
+          case 3: p.withY(q); break;
+          default: break;
+        }
+    }
+    p.withSign(rng.bernoulli(0.5));
+    return p;
+}
+
+/**
+ * One seeded circuit of the packed-vs-scalar property: identical
+ * gate stream into both tableaus, then identical queries — random
+ * Pauli membership tests, per-row symplectic products, and a full
+ * measurement sweep alternating Z and X bases with twin RNGs that
+ * must stay in lockstep (deterministic measurements consume no
+ * randomness on either side).
+ */
+void
+checkPackedMatchesScalar(int qubits, int gates, std::uint64_t seed)
+{
+    SCOPED_TRACE("qubits=" + std::to_string(qubits) +
+                 " gates=" + std::to_string(gates) +
+                 " seed=" + std::to_string(seed));
+    const Circuit circuit =
+        makeRandomCliffordCircuit(qubits, gates, seed);
+
+    StabilizerSim packed(qubits);
+    ScalarStabilizerSim scalar(qubits);
+    applyClifford(circuit, packed);
+    applyClifford(circuit, scalar);
+
+    Rng prng(seed * 77 + 1);
+    for (int trial = 0; trial < 4; ++trial) {
+        const PauliString p = randomPauli(qubits, prng);
+        const PackedPauli packed_view(p);
+        const bool expected = scalar.isStabilizer(p);
+        EXPECT_EQ(packed.isStabilizer(p), expected);
+        EXPECT_EQ(packed.isStabilizer(packed_view), expected);
+        for (int row = 0; row < 2 * qubits; ++row) {
+            const int want = scalar.anticommutes(row, p);
+            EXPECT_EQ(packed.anticommutes(row, p), want);
+            EXPECT_EQ(packed.anticommutes(row, packed_view), want);
+        }
+    }
+
+    Rng rng_packed(seed);
+    Rng rng_scalar(seed);
+    for (int q = 0; q < qubits; ++q) {
+        EXPECT_EQ(packed.zMeasurementIsRandom(q),
+                  scalar.zMeasurementIsRandom(q));
+        const bool x_basis = (q + static_cast<int>(seed)) % 2 == 0;
+        const StabMeasureResult a = x_basis
+            ? packed.measureX(q, rng_packed)
+            : packed.measureZ(q, rng_packed);
+        const StabMeasureResult b = x_basis
+            ? scalar.measureX(q, rng_scalar)
+            : scalar.measureZ(q, rng_scalar);
+        EXPECT_EQ(a.outcome, b.outcome);
+        EXPECT_EQ(a.deterministic, b.deterministic);
+        // The branch probability is fully determined by the verdict
+        // (1 for deterministic, 1/2 for random): verdict equality is
+        // probability equality, exactly.
+    }
+    // The twin RNGs consumed identical draw counts iff their next
+    // outputs still agree.
+    EXPECT_EQ(rng_packed.next(), rng_scalar.next());
+}
+
+TEST(SimKernels, PackedTableauMatchesScalarOn200RandomCircuits)
+{
+    for (std::uint64_t seed = 0; seed < 200; ++seed)
+        checkPackedMatchesScalar(/*qubits=*/2 + seed % 7,
+                                 /*gates=*/8 + seed % 17,
+                                 7000 + seed);
+}
+
+TEST(SimKernels, PackedTableauCrossesWordBoundaries)
+{
+    // 64 qubits lands on the word boundary, 70 spans two words: the
+    // interesting packing edges for shifts and end-of-row masks.
+    for (const int qubits : {63, 64, 65, 70})
+        checkPackedMatchesScalar(qubits, /*gates=*/200,
+                                 9000 + static_cast<std::uint64_t>(
+                                            qubits));
+}
+
+TEST(SimKernels, PackedGraphStateStabilizersMatchScalar)
+{
+    // Graph-state generators K_i = X_i prod_{j in N(i)} Z_j must be
+    // accepted by both implementations, and rejected when signed.
+    Graph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    g.addEdge(5, 0);
+    g.addEdge(0, 3);
+    StabilizerSim packed(6);
+    ScalarStabilizerSim scalar(6);
+    packed.prepareGraphState(g);
+    scalar.prepareGraphState(g);
+    for (NodeId i = 0; i < 6; ++i) {
+        PauliString k = StabilizerSim::graphStabilizer(g, i);
+        EXPECT_TRUE(packed.isStabilizer(k));
+        EXPECT_TRUE(scalar.isStabilizer(k));
+        k.withSign(true);
+        EXPECT_FALSE(packed.isStabilizer(k));
+        EXPECT_FALSE(scalar.isStabilizer(k));
+    }
+}
+
+// --- Dense amplitude kernels -----------------------------------------------
+
+/** Random normalized-ish amplitude array (exact values irrelevant). */
+std::vector<sv::Amp>
+randomAmps(std::size_t size, Rng &rng)
+{
+    std::vector<sv::Amp> amps(size);
+    for (auto &a : amps)
+        a = sv::Amp(rng.uniform() * 2.0 - 1.0,
+                    rng.uniform() * 2.0 - 1.0);
+    return amps;
+}
+
+TEST(SimKernels, Avx2KernelMatchesPortableToExactUlp)
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    if (!sv::cpuHasAvx2())
+        GTEST_SKIP() << "CPU lacks AVX2; dispatch covers this case";
+    Rng rng(42);
+    for (int n = 1; n <= 10; ++n) {
+        for (int trial = 0; trial < 20; ++trial) {
+            const std::vector<sv::Amp> base =
+                randomAmps(std::size_t(1) << n, rng);
+            const sv::Amp m[4] = {
+                sv::Amp(rng.uniform(), rng.uniform()),
+                sv::Amp(rng.uniform(), rng.uniform()),
+                sv::Amp(rng.uniform(), rng.uniform()),
+                sv::Amp(rng.uniform(), rng.uniform()),
+            };
+            for (int q = 0; q < n; ++q) {
+                std::vector<sv::Amp> portable = base;
+                std::vector<sv::Amp> vectorized = base;
+                sv::apply1qPortable(portable.data(), portable.size(),
+                                    q, m);
+                sv::apply1qAvx2(vectorized.data(), vectorized.size(),
+                                q, m);
+                // Bitwise, not approximate: both kernels perform the
+                // identical IEEE-754 operation sequence.
+                EXPECT_EQ(std::memcmp(portable.data(),
+                                      vectorized.data(),
+                                      portable.size() *
+                                          sizeof(sv::Amp)),
+                          0)
+                    << "n=" << n << " q=" << q
+                    << " trial=" << trial;
+            }
+        }
+    }
+#else
+    GTEST_SKIP() << "non-x86 build has no AVX2 kernel";
+#endif
+}
+
+TEST(SimKernels, StateVectorIsBitIdenticalAcrossKernelSelections)
+{
+    // End-to-end: the same Clifford+T circuit applied gate-by-gate
+    // (fusion off isolates the kernel axis) under Portable and Avx2
+    // dispatch must leave bit-identical amplitude arrays.
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const int qubits = 2 + static_cast<int>(seed % 5);
+        const Circuit circuit = makeRandomCliffordTCircuit(
+            qubits, 12 + static_cast<int>(seed % 9), 300 + seed);
+
+        simKernelConfig() = {true, true, SvKernel::Portable, false};
+        StateVector portable(qubits);
+        portable.applyCircuit(circuit);
+
+        simKernelConfig() = {true, true, SvKernel::Avx2, false};
+        StateVector vectorized(qubits);
+        vectorized.applyCircuit(circuit);
+        resetSimKernelConfig();
+
+        const auto &a = portable.amplitudes();
+        const auto &b = vectorized.amplitudes();
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                              a.size() * sizeof(sv::Amp)),
+                  0)
+            << "seed=" << seed;
+    }
+}
+
+TEST(SimKernels, GateFusionStaysWithinReassociationTolerance)
+{
+    // Fusion reassociates floating point, so it is *not* bit-exact
+    // by design; it must stay within a few ULPs of the gate-by-gate
+    // product, and the measurement statistics must be unaffected.
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const int qubits = 2 + static_cast<int>(seed % 4);
+        const Circuit circuit = makeRandomCliffordTCircuit(
+            qubits, 16 + static_cast<int>(seed % 11), 600 + seed);
+
+        simKernelConfig() = {true, true, SvKernel::Auto, false};
+        StateVector unfused(qubits);
+        unfused.applyCircuit(circuit);
+
+        simKernelConfig() = {true, true, SvKernel::Auto, true};
+        StateVector fused(qubits);
+        fused.applyCircuit(circuit);
+        resetSimKernelConfig();
+
+        const auto &a = unfused.amplitudes();
+        const auto &b = fused.amplitudes();
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12)
+                << "seed=" << seed << " amp=" << i;
+    }
+}
+
+// --- Shot scheduler --------------------------------------------------------
+
+/** Execute one backend run under a given kernel configuration. */
+ExecResult
+runBackend(const ExecProgram &program, const char *backend,
+           int shots, std::int64_t seed, int threads,
+           const SimKernelConfig &config)
+{
+    simKernelConfig() = config;
+    ExecOptions options;
+    options.backend = backend;
+    options.shots = shots;
+    options.seed = seed;
+    options.numThreads = threads;
+    auto result = executeProgram(program, options);
+    resetSimKernelConfig();
+    EXPECT_TRUE(result.ok()) << result.status().toString();
+    return result.ok() ? *result : ExecResult{};
+}
+
+/** A compiled program every backend (incl. schedule) can execute. */
+ExecProgram
+compiledCliffordProgram(std::uint64_t seed)
+{
+    const CompilerDriver driver(
+        CompileOptions().numQpus(2).gridSize(7).seed(seed));
+    const auto request = CompileRequest::fromCircuit(
+        makeRandomCliffordCircuit(4, 14, seed), "shot-sched");
+    auto report = driver.compile(request);
+    EXPECT_TRUE(report.ok()) << report.status().toString();
+    return ExecProgram::fromPattern(*report->pattern, "shot-sched")
+        .withSchedule(*report->distributed);
+}
+
+TEST(SimKernels, ShotTreeMatchesNaivePerShotSampling)
+{
+    // Same seeds, tree on vs off: the tree only deduplicates the
+    // deterministic prefix, so every sampled bitstring — and the
+    // exact probability map — must be identical.
+    const ExecProgram program = compiledCliffordProgram(21);
+    const SimKernelConfig naive{true, false, SvKernel::Auto, true};
+    const SimKernelConfig tree{true, true, SvKernel::Auto, true};
+    for (const char *backend :
+         {"statevector", "stabilizer", "schedule"}) {
+        SCOPED_TRACE(backend);
+        const ExecResult a =
+            runBackend(program, backend, 200, 17, 2, naive);
+        const ExecResult b =
+            runBackend(program, backend, 200, 17, 2, tree);
+        EXPECT_EQ(a.counts, b.counts);
+        EXPECT_EQ(a.probabilities, b.probabilities);
+        EXPECT_EQ(a.completedShots, b.completedShots);
+        EXPECT_EQ(a.notes, b.notes);
+    }
+}
+
+TEST(SimKernels, ShotTreeIsThreadCountInvariant)
+{
+    // The tree is shared mutable state across workers; expansion
+    // order depends on scheduling but cached values never change the
+    // result of any shot, so 1, 3, and 8 workers must agree exactly.
+    const ExecProgram program = compiledCliffordProgram(22);
+    const SimKernelConfig tree{true, true, SvKernel::Auto, true};
+    for (const char *backend :
+         {"statevector", "stabilizer", "schedule"}) {
+        SCOPED_TRACE(backend);
+        const ExecResult serial =
+            runBackend(program, backend, 128, 5, 1, tree);
+        for (const int threads : {3, 8}) {
+            const ExecResult parallel = runBackend(
+                program, backend, 128, 5, threads, tree);
+            EXPECT_EQ(serial.counts, parallel.counts) << threads;
+            EXPECT_EQ(serial.probabilities, parallel.probabilities)
+                << threads;
+            EXPECT_EQ(serial.lostShots, parallel.lostShots)
+                << threads;
+        }
+    }
+}
+
+TEST(SimKernels, ReferenceBuildDefaultsFollowTheMacro)
+{
+    // One binary runs both sides of the equivalence: the build mode
+    // only moves the *defaults*, which resetSimKernelConfig restores.
+    resetSimKernelConfig();
+    const SimKernelConfig &config = simKernelConfig();
+#if defined(DCMBQC_SIM_REFERENCE)
+    EXPECT_FALSE(config.packedTableau);
+    EXPECT_FALSE(config.shotTree);
+    EXPECT_EQ(config.svKernel, SvKernel::Portable);
+    EXPECT_FALSE(config.fuseGates);
+#else
+    EXPECT_TRUE(config.packedTableau);
+    EXPECT_TRUE(config.shotTree);
+    EXPECT_EQ(config.svKernel, SvKernel::Auto);
+    EXPECT_TRUE(config.fuseGates);
+#endif
+}
+
+} // namespace
+} // namespace dcmbqc
