@@ -9,8 +9,10 @@
 #include <unordered_map>
 
 #include "api/passes.hh"
-#include "api/thread_pool.hh"
+#include "common/resource.hh"
+#include "common/thread_pool.hh"
 #include "cache/cache_key.hh"
+#include "core/compile_path.hh"
 #include "portfolio/racer.hh"
 #include "cache/compile_cache.hh"
 #include "exec/backend.hh"
@@ -105,19 +107,33 @@ class SerializedObserver : public PassObserver
             target->onPassEnd(label, pass, report);
     }
 
+    void
+    onWindow(const std::string &label, const Pass &pass,
+             const WindowEvent &event) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (PassObserver *target : targets_)
+            target->onWindow(label, pass, event);
+    }
+
   private:
     const std::vector<PassObserver *> &targets_;
     std::mutex &mutex_;
 };
 
 void
-addFrontEndPasses(PassManager &manager,
+addFrontEndPasses(PassManager &manager, const PassContext &ctx,
                   CompileRequest::EntryPoint entry)
 {
     switch (entry) {
       case CompileRequest::EntryPoint::Circuit:
-        manager.add(std::make_unique<TranspilePass>());
-        manager.add(std::make_unique<PatternBuildPass>());
+      case CompileRequest::EntryPoint::CircuitStream:
+        if (ctx.stream != nullptr) {
+            manager.add(std::make_unique<PatternStreamPass>());
+        } else {
+            manager.add(std::make_unique<TranspilePass>());
+            manager.add(std::make_unique<PatternBuildPass>());
+        }
         break;
       case CompileRequest::EntryPoint::Pattern:
         manager.add(std::make_unique<PatternBuildPass>());
@@ -256,10 +272,34 @@ CompilerDriver::compileImpl(const CompileRequest &request,
     ctx.cancel = request.cancellation();
     if (noise_model)
         ctx.noise = &*noise_model;
+    ctx.window.size = options_.windowSize() > 0
+        ? static_cast<std::uint32_t>(options_.windowSize())
+        : 0;
 
     switch (request.entryPoint()) {
       case CompileRequest::EntryPoint::Circuit:
         ctx.circuit = &request.circuit();
+        if (ctx.window.active() &&
+            compilePathConfig().streamingFrontEnd) {
+            // Windowed execution of a materialized circuit: wrap it
+            // in a borrowing stream so the fused PatternStream pass
+            // runs. Byte-identical output either way; the wrap only
+            // bounds transient memory and enables mid-pass
+            // checkpoints.
+            ctx.streamStorage =
+                std::make_unique<VectorCircuitStream>(*ctx.circuit);
+            ctx.stream = ctx.streamStorage.get();
+        }
+        break;
+      case CompileRequest::EntryPoint::CircuitStream:
+        if (compilePathConfig().streamingFrontEnd) {
+            ctx.stream = &request.stream();
+        } else {
+            // Reference oracle: drain the stream into a circuit and
+            // run the monolithic Transpile + PatternBuild pair.
+            ctx.circuitStorage = request.stream().materialize();
+            ctx.circuit = &*ctx.circuitStorage;
+        }
         break;
       case CompileRequest::EntryPoint::Pattern:
         ctx.pattern = &request.pattern();
@@ -270,8 +310,21 @@ CompilerDriver::compileImpl(const CompileRequest &request,
         break;
     }
 
+    SerializedObserver serialized(observers_, observerMutex_);
+    ctx.windowCheckpoint = [&](const WindowEvent &event) -> Status {
+        if (ctx.cancel) {
+            Status mid = ctx.cancel->check();
+            if (!mid.ok())
+                return mid;
+        }
+        if (!observers_.empty() && ctx.currentPass != nullptr)
+            serialized.onWindow(report.label, *ctx.currentPass,
+                                event);
+        return Status::okStatus();
+    };
+
     PassManager manager;
-    addFrontEndPasses(manager, request.entryPoint());
+    addFrontEndPasses(manager, ctx, request.entryPoint());
     if (baseline) {
         manager.add(std::make_unique<PlaceBaselinePass>());
     } else {
@@ -282,7 +335,6 @@ CompilerDriver::compileImpl(const CompileRequest &request,
             manager.add(std::make_unique<RefineBdirPass>());
     }
 
-    SerializedObserver serialized(observers_, observerMutex_);
     if (!observers_.empty())
         manager.observe(&serialized);
 
@@ -294,6 +346,11 @@ CompilerDriver::compileImpl(const CompileRequest &request,
 
     report.warnings.insert(report.warnings.end(),
                            ctx.warnings.begin(), ctx.warnings.end());
+
+    // Telemetry only: the artifact codec never serializes these, so
+    // cached bytes stay identical across window sizes and platforms.
+    report.streaming = ctx.streamStats;
+    report.peakRssBytes = peakRssBytes();
 
     // Keep the pattern the front end built (Circuit entry): the
     // cached artifact then carries everything an execution needs,

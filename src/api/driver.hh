@@ -73,6 +73,23 @@ struct CompileReport
     double totalMillis = 0.0;
 
     /**
+     * High-water marks of the streaming stages (windows completed,
+     * peak frontier nodes / pending edges / live bytes, timeline
+     * segments). All zero when no streaming stage ran. Execution
+     * telemetry, not compile content: never serialized into cached
+     * artifacts, so artifact bytes stay window-invariant.
+     */
+    StreamStats streaming;
+
+    /**
+     * Peak resident set size of the process right after the pipeline
+     * ran (bytes; 0 when the platform cannot report it). Monotone
+     * per process, so it upper-bounds this compile's footprint.
+     * Telemetry like `streaming`; not serialized into artifacts.
+     */
+    std::uint64_t peakRssBytes = 0;
+
+    /**
      * True when this report was replayed from the compile cache; no
      * pass ran and `stages` holds the *original* compilation's
      * stage timings.

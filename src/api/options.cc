@@ -158,6 +158,13 @@ CompileOptions::portfolio(int candidates)
     return *this;
 }
 
+CompileOptions &
+CompileOptions::window(int gates_per_window)
+{
+    window_ = gates_per_window;
+    return *this;
+}
+
 Status
 CompileOptions::validate() const
 {
@@ -207,6 +214,9 @@ CompileOptions::validate() const
     if (portfolio_ < 1 || portfolio_ > 64)
         complain("portfolio candidates must lie in [1, 64] (got " +
                  std::to_string(portfolio_) + ")");
+    if (window_ < 0)
+        complain("window must be >= 0 (got " +
+                 std::to_string(window_) + "); 0 disables windowing");
     if (noise_) {
         const auto model = buildNoiseModel(*noise_);
         if (!model.ok())

@@ -129,6 +129,22 @@ class CompileOptions
     int portfolioCandidates() const { return portfolio_; }
 
     /**
+     * Windowed-ingest size of the streaming compile stages: gates
+     * per window in the pattern builder, slots per timeline segment
+     * in the scheduler. 0 (the default) runs each stage as a single
+     * window. An execution knob, not a semantic one — compiled
+     * artifacts are byte-identical for every window size, so the
+     * window does not enter the cache key; it only bounds live
+     * memory and sets how often cancellation checks and
+     * `PassObserver::onWindow` progress events fire mid-pass. Must
+     * be >= 0 (validated).
+     */
+    CompileOptions &window(int gates_per_window);
+
+    /** Streaming window size; 0 = whole input as one window. */
+    int windowSize() const { return window_; }
+
+    /**
      * Check every field against its documented domain. Returns
      * InvalidConfig listing *all* violations (semicolon-separated)
      * rather than just the first, so a service can report the full
@@ -155,6 +171,7 @@ class CompileOptions
     std::shared_ptr<CompileCache> cache_;
     std::optional<NoiseConfig> noise_;
     int portfolio_ = 1;
+    int window_ = 0;
 };
 
 } // namespace dcmbqc

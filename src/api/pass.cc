@@ -43,9 +43,11 @@ PassManager::run(PassContext &ctx, std::vector<StageReport> &stages,
             observer->onPassBegin(label, *pass);
 
         ctx.stageNote.clear();
+        ctx.currentPass = pass.get();
         const auto begin = Clock::now();
         Status status = pass->run(ctx);
         const auto end = Clock::now();
+        ctx.currentPass = nullptr;
 
         StageReport report;
         report.pass = pass->name();

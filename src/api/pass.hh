@@ -19,11 +19,13 @@
 
 #include "api/cancellation.hh"
 #include "api/status.hh"
+#include "circuit/circuit_stream.hh"
 #include "circuit/transpile.hh"
 #include "compiler/single_qpu.hh"
 #include "core/bdir.hh"
 #include "core/lsp.hh"
 #include "core/pipeline.hh"
+#include "core/stream_window.hh"
 #include "graph/digraph.hh"
 #include "graph/graph.hh"
 #include "mbqc/pattern.hh"
@@ -33,6 +35,7 @@ namespace dcmbqc
 
 class CompileRequest;
 class NoiseModel;
+class Pass;
 
 /**
  * Shared blackboard the passes read from and write to. The driver
@@ -52,6 +55,36 @@ struct PassContext
 
     /** Borrowed from the request; null for non-circuit entries. */
     const Circuit *circuit = nullptr;
+
+    /**
+     * Gate source of the streaming front end; null outside the
+     * streaming path. Points at the request's stream for
+     * CircuitStream entries, or at `streamStorage` when the driver
+     * wraps a Circuit entry for windowed execution.
+     */
+    CircuitStream *stream = nullptr;
+
+    /** Backing storage when the driver wraps a borrowed circuit. */
+    std::unique_ptr<CircuitStream> streamStorage;
+
+    /**
+     * Backing storage when the reference (non-streaming) path
+     * materializes a CircuitStream entry into a whole circuit.
+     */
+    std::optional<Circuit> circuitStorage;
+
+    /** Windowed-ingest size of the streaming stages (0 = off). */
+    StreamWindow window;
+
+    /**
+     * Installed by the driver: fired by the windowed stages between
+     * windows, consulting the cancellation token and fanning out to
+     * PassObserver::onWindow. Null runs the stages checkpoint-free.
+     */
+    WindowCheckpoint windowCheckpoint;
+
+    /** High-water marks accumulated by the streaming stages. */
+    StreamStats streamStats;
 
     /**
      * Borrowed from the driver; when non-null, PartitionPass and
@@ -99,6 +132,13 @@ struct PassContext
      * PassManager moves it into that pass's StageReport.
      */
     std::string stageNote;
+
+    /**
+     * Set by the PassManager for the duration of each pass's run()
+     * so mid-pass hooks (the window checkpoint) can attribute their
+     * events to a pass. Null between passes.
+     */
+    const Pass *currentPass = nullptr;
 };
 
 /** One named stage of the pipeline. Stateless and thread-safe. */
@@ -149,6 +189,21 @@ class PassObserver
         (void)label;
         (void)pass;
         (void)report;
+    }
+
+    /**
+     * Fired between windows of a streaming pass (PatternStream,
+     * ScheduleList) while the pass is running — the only hook that
+     * reports progress *inside* a pass. Serialized like the other
+     * hooks. Default: ignore.
+     */
+    virtual void
+    onWindow(const std::string &label, const Pass &pass,
+             const WindowEvent &event)
+    {
+        (void)label;
+        (void)pass;
+        (void)event;
     }
 };
 

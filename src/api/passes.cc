@@ -2,11 +2,14 @@
 
 #include <sstream>
 
+#include "core/compile_path.hh"
 #include "core/lifetime.hh"
 #include "core/list_scheduler.hh"
 #include "core/lsp_builder.hh"
+#include "core/streaming_schedule.hh"
 #include "mbqc/dependency.hh"
 #include "mbqc/pattern_builder.hh"
+#include "mbqc/streaming_builder.hh"
 
 namespace dcmbqc
 {
@@ -41,6 +44,34 @@ PatternBuildPass::run(PassContext &ctx) const
     ctx.depsStorage = realTimeDependencyGraph(*ctx.pattern);
     ctx.deps = &*ctx.depsStorage;
 
+    std::ostringstream note;
+    note << ctx.pattern->numNodes() << " photons, "
+         << ctx.graph->numEdges() << " fusion edges";
+    ctx.stageNote = note.str();
+    return Status::okStatus();
+}
+
+Status
+PatternStreamPass::run(PassContext &ctx) const
+{
+    if (!ctx.stream)
+        return Status::internal("PatternStream: no stream on context");
+
+    Expected<Pattern> pattern = buildPatternStreamed(
+        *ctx.stream, ctx.window, ctx.windowCheckpoint,
+        &ctx.streamStats);
+    if (!pattern.ok())
+        return pattern.status();
+    ctx.patternStorage = std::move(pattern).value();
+    ctx.pattern = &*ctx.patternStorage;
+
+    ctx.graph = &ctx.pattern->graph();
+    ctx.depsStorage = realTimeDependencyGraph(*ctx.pattern);
+    ctx.deps = &*ctx.depsStorage;
+
+    // Same shape as the PatternBuild note: the summary must not leak
+    // the window size (goldens pin stage notes; the window is an
+    // execution knob, not a semantic one).
     std::ostringstream note;
     note << ctx.pattern->numNodes() << " photons, "
          << ctx.graph->numEdges() << " fusion edges";
@@ -101,7 +132,30 @@ ScheduleListPass::run(PassContext &ctx) const
     if (!ctx.lsp)
         return Status::internal("ScheduleList: no LSP on context");
 
-    ctx.schedule = listScheduleDefault(*ctx.lsp);
+    if (compilePathConfig().streamingScheduler) {
+        // Same default priorities as listScheduleDefault; routed
+        // through the segment-emitting core so window checkpoints
+        // fire mid-pass. Byte-identical schedule either way.
+        const auto &lsp = *ctx.lsp;
+        std::vector<double> main_priority(lsp.mainTasks().size());
+        for (std::size_t i = 0; i < main_priority.size(); ++i)
+            main_priority[i] = lsp.mainTasks()[i].index;
+        std::vector<double> sync_priority(lsp.syncTasks().size());
+        for (std::size_t k = 0; k < sync_priority.size(); ++k) {
+            const auto &sync = lsp.syncTasks()[k];
+            sync_priority[k] =
+                0.5 * (lsp.mainTasks()[sync.taskA].index +
+                       lsp.mainTasks()[sync.taskB].index);
+        }
+        Expected<Schedule> schedule = listScheduleStreamed(
+            lsp, main_priority, sync_priority, std::nullopt,
+            ctx.window, ctx.windowCheckpoint, {}, &ctx.streamStats);
+        if (!schedule.ok())
+            return schedule.status();
+        ctx.schedule = std::move(schedule).value();
+    } else {
+        ctx.schedule = listScheduleDefault(*ctx.lsp);
+    }
 
     std::ostringstream note;
     note << "makespan " << ctx.schedule->makespan << " slots";

@@ -5,6 +5,9 @@
  *   Transpile     circuit -> {CZ, J(alpha)} program
  *   PatternBuild  {CZ, J} program -> measurement pattern, then
  *                 derives the computation graph + real-time deps
+ *   PatternStream windowed fusion of Transpile + PatternBuild over a
+ *                 CircuitStream (streaming front end); replaces the
+ *                 two passes above on the streaming path
  *   Partition     adaptive k-way partitioning (Algorithm 2)
  *   PlaceLocal    per-QPU single-QPU compilation + LSP assembly
  *   ScheduleList  priority list scheduling (Section IV-B)
@@ -40,6 +43,22 @@ class PatternBuildPass : public Pass
 {
   public:
     const char *name() const override { return "PatternBuild"; }
+    Status run(PassContext &ctx) const override;
+};
+
+/**
+ * CircuitStream -> Pattern in one windowed sweep (gates are lowered
+ * and fed to the settled-prefix builder window by window; see
+ * mbqc/streaming_builder.hh), then derives ctx.graph / ctx.deps
+ * like PatternBuildPass. Requires ctx.stream; honors ctx.window and
+ * fires ctx.windowCheckpoint between windows. The resulting pattern
+ * is byte-identical to the Transpile + PatternBuild pair on the
+ * materialized circuit.
+ */
+class PatternStreamPass : public Pass
+{
+  public:
+    const char *name() const override { return "PatternStream"; }
     Status run(PassContext &ctx) const override;
 };
 

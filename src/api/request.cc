@@ -16,6 +16,19 @@ CompileRequest::fromCircuit(Circuit circuit, std::string label)
 }
 
 CompileRequest
+CompileRequest::fromCircuitStream(std::shared_ptr<CircuitStream> stream,
+                                 std::string label)
+{
+    CompileRequest request;
+    request.entry_ = EntryPoint::CircuitStream;
+    if (label.empty() && stream != nullptr)
+        label = stream->name();
+    request.label_ = std::move(label);
+    request.stream_ = std::move(stream);
+    return request;
+}
+
+CompileRequest
 CompileRequest::fromPattern(Pattern pattern, std::string label)
 {
     CompileRequest request;
@@ -44,6 +57,19 @@ CompileRequest::validate() const
         if (circuit_->numGates() == 0)
             return Status::invalidArgument(
                 "circuit '" + circuit_->name() + "' has no gates");
+        return Status::okStatus();
+
+      case EntryPoint::CircuitStream:
+        if (stream_ == nullptr)
+            return Status::invalidArgument("circuit stream is null");
+        if (stream_->numQubits() < 1)
+            return Status::invalidArgument(
+                "circuit stream '" + stream_->name() +
+                "' has no qubits");
+        if (stream_->totalGates() == 0)
+            return Status::invalidArgument(
+                "circuit stream '" + stream_->name() +
+                "' has no gates");
         return Status::okStatus();
 
       case EntryPoint::Pattern:
@@ -99,6 +125,14 @@ CompileRequest::deps() const
     if (!deps_)
         panic("CompileRequest::deps() on non-graph entry");
     return *deps_;
+}
+
+CircuitStream &
+CompileRequest::stream() const
+{
+    if (!stream_)
+        panic("CompileRequest::stream() on non-stream entry");
+    return *stream_;
 }
 
 } // namespace dcmbqc

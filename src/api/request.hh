@@ -2,9 +2,13 @@
  * @file
  * A unit of compilation work for `CompilerDriver`: one program plus
  * an optional label for report correlation. A request can enter the
- * pipeline at any of the three natural representations of Figure 2:
+ * pipeline at any of the natural representations of Figure 2:
  *
  *   Circuit        -> runs Transpile + PatternBuild first;
+ *   CircuitStream  -> like Circuit, but gates arrive windowed and
+ *                     the pattern is built incrementally
+ *                     (PatternStream) without materializing the
+ *                     gate list;
  *   Pattern        -> runs the graph/dependency derivation only;
  *   Graph + Digraph-> goes straight to partitioning/scheduling.
  *
@@ -16,12 +20,14 @@
 #ifndef DCMBQC_API_REQUEST_HH
 #define DCMBQC_API_REQUEST_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "api/cancellation.hh"
 #include "api/status.hh"
 #include "circuit/circuit.hh"
+#include "circuit/circuit_stream.hh"
 #include "graph/digraph.hh"
 #include "graph/graph.hh"
 #include "mbqc/pattern.hh"
@@ -39,11 +45,24 @@ class CompileRequest
         Circuit,
         Pattern,
         Graph,
+        CircuitStream,
     };
 
     /** Start from a gate-model circuit (full Figure-2 pipeline). */
     static CompileRequest fromCircuit(Circuit circuit,
                                       std::string label = "");
+
+    /**
+     * Start from a windowed gate source (streaming front end). The
+     * stream is shared because a single drain-and-rebuild request
+     * may be replayed (cache verification, portfolio racing); it
+     * must be replayable via `reset()`. Compilation semantics — and
+     * the cache key — are defined by the gate sequence the stream
+     * yields, so a stream and its materialized circuit alias the
+     * same cache entry.
+     */
+    static CompileRequest fromCircuitStream(
+        std::shared_ptr<CircuitStream> stream, std::string label = "");
 
     /** Start from a prebuilt one-way measurement pattern. */
     static CompileRequest fromPattern(Pattern pattern,
@@ -98,6 +117,7 @@ class CompileRequest
     const Pattern &pattern() const;
     const Graph &graph() const;
     const Digraph &deps() const;
+    CircuitStream &stream() const;
 
   private:
     CompileRequest() = default;
@@ -109,6 +129,7 @@ class CompileRequest
     std::optional<Pattern> pattern_;
     std::optional<Graph> graph_;
     std::optional<Digraph> deps_;
+    std::shared_ptr<CircuitStream> stream_;
 };
 
 } // namespace dcmbqc

@@ -6,19 +6,45 @@
 namespace dcmbqc
 {
 
+namespace
+{
+
+/** Gates hashed per chunk when draining a CircuitStream. */
+constexpr std::size_t kHashChunkGates = 4096;
+
+} // namespace
+
 CacheKeyPair
 computeCacheKey(const CompileRequest &request,
                 const DcMbqcConfig &config, bool baseline,
                 const NoiseConfig *noise)
 {
+    const bool stream_entry = request.entryPoint() ==
+        CompileRequest::EntryPoint::CircuitStream;
+
     BinaryWriter writer;
     writer.writeU32(compileCacheEpoch);
     writer.writeU16(artifactFormatVersion);
     writer.writeU8(baseline ? 1 : 0);
-    writer.writeU8(static_cast<std::uint8_t>(request.entryPoint()));
+    // Stream entries hash under the Circuit tag with the exact
+    // encodeCircuit byte layout, so a stream and its materialized
+    // circuit share one cache line. Safe to alias: the streamed path
+    // is bit-identical to the monolithic one by construction (and by
+    // the differential tier-1 tests).
+    writer.writeU8(static_cast<std::uint8_t>(
+        stream_entry ? CompileRequest::EntryPoint::Circuit
+                     : request.entryPoint()));
     switch (request.entryPoint()) {
       case CompileRequest::EntryPoint::Circuit:
         encodeCircuit(writer, request.circuit());
+        break;
+      case CompileRequest::EntryPoint::CircuitStream:
+        // The gates are folded in below, chunk by chunk, so a
+        // million-gate stream never materializes its encoded form.
+        writer.writeI32(request.stream().numQubits());
+        writer.writeString(request.stream().name());
+        writer.writeU32(
+            static_cast<std::uint32_t>(request.stream().totalGates()));
         break;
       case CompileRequest::EntryPoint::Pattern:
         encodePattern(writer, request.pattern());
@@ -28,13 +54,11 @@ computeCacheKey(const CompileRequest &request,
         encodeDigraph(writer, request.deps());
         break;
     }
-    encodeConfig(writer, config);
-    if (noise) {
-        // Appended (never a zero placeholder) so keys without noise
-        // keep their exact pre-noise byte stream and hash.
-        writer.writeU8(1);
-        encodeNoiseConfig(writer, *noise);
-    }
+
+    // FNV-1a over a concatenation equals FNV-1a chained through the
+    // pieces with the running hash as the next seed, so the streamed
+    // chunked hash below lands on the same value as hashing one flat
+    // encodeCircuit buffer.
     CacheKeyPair pair;
     pair.key = fnv1a64(writer.bytes().data(), writer.bytes().size());
     // Independent second hash (different offset basis): one 64-bit
@@ -42,6 +66,44 @@ computeCacheKey(const CompileRequest &request,
     pair.verifier = fnv1a64(writer.bytes().data(),
                             writer.bytes().size(),
                             0x6c62272e07bb0142ull);
+    const auto absorb = [&pair](const BinaryWriter &piece) {
+        pair.key = fnv1a64(piece.bytes().data(), piece.bytes().size(),
+                           pair.key);
+        pair.verifier = fnv1a64(piece.bytes().data(),
+                                piece.bytes().size(), pair.verifier);
+    };
+
+    if (stream_entry) {
+        CircuitStream &stream = request.stream();
+        stream.reset();
+        std::vector<Gate> gates;
+        gates.reserve(kHashChunkGates);
+        for (;;) {
+            gates.clear();
+            if (stream.next(kHashChunkGates, gates) == 0)
+                break;
+            BinaryWriter chunk;
+            for (const Gate &gate : gates) {
+                chunk.writeU8(static_cast<std::uint8_t>(gate.kind));
+                chunk.writeI32(gate.q0);
+                chunk.writeI32(gate.q1);
+                chunk.writeI32(gate.q2);
+                chunk.writeF64(gate.angle);
+            }
+            absorb(chunk);
+        }
+        stream.reset();
+    }
+
+    BinaryWriter tail;
+    encodeConfig(tail, config);
+    if (noise) {
+        // Appended (never a zero placeholder) so keys without noise
+        // keep their exact pre-noise byte stream and hash.
+        tail.writeU8(1);
+        encodeNoiseConfig(tail, *noise);
+    }
+    absorb(tail);
     return pair;
 }
 

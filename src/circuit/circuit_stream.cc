@@ -1,0 +1,49 @@
+#include "circuit/circuit_stream.hh"
+
+#include <algorithm>
+
+namespace dcmbqc
+{
+
+Circuit
+CircuitStream::materialize()
+{
+    reset();
+    Circuit circuit(numQubits(), name());
+    std::vector<Gate> window;
+    for (;;) {
+        window.clear();
+        if (next(4096, window) == 0)
+            break;
+        for (const Gate &gate : window)
+            circuit.append(gate);
+    }
+    return circuit;
+}
+
+std::size_t
+VectorCircuitStream::next(std::size_t max_gates, std::vector<Gate> &out)
+{
+    const auto &gates = circuit_->gates();
+    const std::size_t take =
+        std::min(max_gates, gates.size() - cursor_);
+    out.insert(out.end(), gates.begin() + cursor_,
+               gates.begin() + cursor_ + take);
+    cursor_ += take;
+    return take;
+}
+
+std::size_t
+GeneratorCircuitStream::next(std::size_t max_gates,
+                             std::vector<Gate> &out)
+{
+    const std::uint64_t remaining = totalGates_ - cursor_;
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_gates, remaining));
+    for (std::size_t i = 0; i < take; ++i)
+        out.push_back(gateAt_(cursor_ + i));
+    cursor_ += take;
+    return take;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,158 @@
+#include "circuit/huge_generators.hh"
+
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+constexpr double pi = 3.14159265358979323846;
+
+/** SplitMix64 finalizer: the counter-based hash behind gate draws. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from one hash output. */
+double
+unit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+std::shared_ptr<CircuitStream>
+makeGraphStateStream(int rows, int cols)
+{
+    DCMBQC_ASSERT(rows >= 1 && cols >= 1,
+                  "graph state lattice must be at least 1x1");
+    const std::uint64_t n =
+        static_cast<std::uint64_t>(rows) * cols;
+    const std::uint64_t horizontal =
+        static_cast<std::uint64_t>(rows) * (cols - 1);
+    const std::uint64_t vertical =
+        static_cast<std::uint64_t>(rows - 1) * cols;
+    const std::uint64_t total = n + horizontal + vertical;
+
+    auto gate_at = [rows, cols, n, horizontal](std::uint64_t i) {
+        (void)rows;
+        Gate gate;
+        if (i < n) {
+            gate.kind = GateKind::H;
+            gate.q0 = static_cast<QubitId>(i);
+            return gate;
+        }
+        gate.kind = GateKind::CZ;
+        if (i < n + horizontal) {
+            // Horizontal edge j: row j / (cols-1), col j % (cols-1).
+            const std::uint64_t j = i - n;
+            const std::uint64_t r = j / (cols - 1);
+            const std::uint64_t c = j % (cols - 1);
+            gate.q0 = static_cast<QubitId>(r * cols + c);
+            gate.q1 = static_cast<QubitId>(r * cols + c + 1);
+            return gate;
+        }
+        // Vertical edge j: row j / cols, col j % cols.
+        const std::uint64_t j = i - n - horizontal;
+        const std::uint64_t r = j / cols;
+        const std::uint64_t c = j % cols;
+        gate.q0 = static_cast<QubitId>(r * cols + c);
+        gate.q1 = static_cast<QubitId>((r + 1) * cols + c);
+        return gate;
+    };
+
+    return std::make_shared<GeneratorCircuitStream>(
+        "graphstate-" + std::to_string(rows) + "x" +
+            std::to_string(cols),
+        static_cast<int>(n), total, gate_at);
+}
+
+std::shared_ptr<CircuitStream>
+makeDeepQaoaStream(int num_qubits, int layers, std::uint64_t seed)
+{
+    DCMBQC_ASSERT(num_qubits >= 3,
+                  "ring QAOA needs at least 3 qubits");
+    DCMBQC_ASSERT(layers >= 1, "QAOA depth must be >= 1");
+    const std::uint64_t n = static_cast<std::uint64_t>(num_qubits);
+    const std::uint64_t per_layer = 2 * n; // n RZZ + n RX
+    const std::uint64_t total =
+        per_layer * static_cast<std::uint64_t>(layers);
+
+    auto gate_at = [n, per_layer, seed](std::uint64_t i) {
+        const std::uint64_t layer = i / per_layer;
+        const std::uint64_t pos = i % per_layer;
+        Gate gate;
+        if (pos < n) {
+            // Cost ring: RZZ(q, (q+1) mod n) with the layer's gamma.
+            gate.kind = GateKind::RZZ;
+            gate.q0 = static_cast<QubitId>(pos);
+            gate.q1 = static_cast<QubitId>((pos + 1) % n);
+            gate.angle =
+                pi * unit(mix64(seed ^ (2 * layer + 1) * 0x51ed2701ull));
+        } else {
+            // Mixer: RX with the layer's beta.
+            gate.kind = GateKind::RX;
+            gate.q0 = static_cast<QubitId>(pos - n);
+            gate.angle =
+                pi * unit(mix64(seed ^ (2 * layer + 2) * 0x2545f491ull));
+        }
+        return gate;
+    };
+
+    return std::make_shared<GeneratorCircuitStream>(
+        "qaoa-deep-" + std::to_string(num_qubits) + "x" +
+            std::to_string(layers),
+        num_qubits, total, gate_at);
+}
+
+std::shared_ptr<CircuitStream>
+makeRandomCliffordTStream(int num_qubits, std::uint64_t num_gates,
+                          std::uint64_t seed)
+{
+    DCMBQC_ASSERT(num_qubits >= 2,
+                  "random Clifford+T stream needs >= 2 qubits");
+    const std::uint64_t n = static_cast<std::uint64_t>(num_qubits);
+
+    auto gate_at = [n, seed](std::uint64_t i) {
+        const std::uint64_t h = mix64(seed ^ mix64(i));
+        const std::uint64_t kind_draw = h % 9;
+        // Independent draws for the operands (different mix lanes).
+        const std::uint64_t q_draw = mix64(h ^ 0xd1b54a32d192ed03ull);
+        Gate gate;
+        gate.q0 = static_cast<QubitId>(q_draw % n);
+        switch (kind_draw) {
+          case 0: gate.kind = GateKind::H; break;
+          case 1: gate.kind = GateKind::S; break;
+          case 2: gate.kind = GateKind::Sdg; break;
+          case 3: gate.kind = GateKind::T; break;
+          case 4: gate.kind = GateKind::Tdg; break;
+          case 5: gate.kind = GateKind::X; break;
+          case 6: gate.kind = GateKind::Z; break;
+          case 7: gate.kind = GateKind::CZ; break;
+          default: gate.kind = GateKind::CNOT; break;
+        }
+        if (gate.kind == GateKind::CZ ||
+            gate.kind == GateKind::CNOT) {
+            // Second operand: distinct from q0 by offset in [1, n).
+            const std::uint64_t offset =
+                1 + mix64(h ^ 0x8bb84b93962eacc9ull) % (n - 1);
+            gate.q1 =
+                static_cast<QubitId>((gate.q0 + offset) % n);
+        }
+        return gate;
+    };
+
+    return std::make_shared<GeneratorCircuitStream>(
+        "cliffordt-stream-" + std::to_string(num_qubits) + "q",
+        num_qubits, num_gates, gate_at);
+}
+
+} // namespace dcmbqc

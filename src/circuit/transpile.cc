@@ -136,38 +136,43 @@ JCircuit::numCz() const
     return ops.size() - numJ();
 }
 
-JCircuit
-transpileToJCz(const Circuit &circuit)
+void
+appendGateJOps(const Gate &gate, std::vector<JOp> &out)
 {
-    JCircuit out;
-    out.numQubits = circuit.numQubits();
-
     auto emit_basic = [&](const Gate &g) {
         switch (g.kind) {
           case GateKind::H:
-            out.ops.push_back(JOp::j(g.q0, 0.0));
+            out.push_back(JOp::j(g.q0, 0.0));
             break;
           case GateKind::RZ:
             // Rz(t) = J(0) J(t): apply J(t) first, then J(0).
-            out.ops.push_back(JOp::j(g.q0, g.angle));
-            out.ops.push_back(JOp::j(g.q0, 0.0));
+            out.push_back(JOp::j(g.q0, g.angle));
+            out.push_back(JOp::j(g.q0, 0.0));
             break;
           case GateKind::RX:
             // Rx(t) = J(t) J(0): apply J(0) first, then J(t).
-            out.ops.push_back(JOp::j(g.q0, 0.0));
-            out.ops.push_back(JOp::j(g.q0, g.angle));
+            out.push_back(JOp::j(g.q0, 0.0));
+            out.push_back(JOp::j(g.q0, g.angle));
             break;
           case GateKind::CZ:
-            out.ops.push_back(JOp::cz(g.q0, g.q1));
+            out.push_back(JOp::cz(g.q0, g.q1));
             break;
           default:
             panic("emit_basic: non-basic gate ", gateKindName(g.kind));
         }
     };
 
+    for (const auto &g : lowerGate(gate))
+        emit_basic(g);
+}
+
+JCircuit
+transpileToJCz(const Circuit &circuit)
+{
+    JCircuit out;
+    out.numQubits = circuit.numQubits();
     for (const auto &gate : circuit.gates())
-        for (const auto &g : lowerGate(gate))
-            emit_basic(g);
+        appendGateJOps(gate, out.ops);
     return out;
 }
 

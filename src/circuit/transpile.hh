@@ -56,6 +56,15 @@ JCircuit transpileToJCz(const Circuit &circuit);
  */
 std::vector<Gate> lowerGate(const Gate &gate);
 
+/**
+ * Append the {CZ, J(alpha)} lowering of one gate to `out`. This is
+ * the per-gate kernel `transpileToJCz` folds over a circuit; the
+ * streaming pattern builder feeds gates through the same function,
+ * which is what makes the streamed lowering bit-identical to the
+ * monolithic one by construction.
+ */
+void appendGateJOps(const Gate &gate, std::vector<JOp> &out);
+
 } // namespace dcmbqc
 
 #endif // DCMBQC_CIRCUIT_TRANSPILE_HH

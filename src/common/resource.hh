@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Process resource probes for compile reports and benchmarks.
+ */
+
+#ifndef DCMBQC_COMMON_RESOURCE_HH
+#define DCMBQC_COMMON_RESOURCE_HH
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace dcmbqc
+{
+
+/**
+ * Peak resident set size of the current process in bytes, 0 when the
+ * platform cannot report it. Monotone over the process lifetime, so
+ * the delta across a compile only bounds that compile's footprint
+ * from above.
+ */
+inline std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss); // bytes
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024; // KiB
+#endif
+#else
+    return 0;
+#endif
+}
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_COMMON_RESOURCE_HH

@@ -1,4 +1,4 @@
-#include "api/thread_pool.hh"
+#include "common/thread_pool.hh"
 
 #include <algorithm>
 

@@ -1,14 +1,17 @@
 /**
  * @file
- * Minimal fixed-size thread pool used by
- * `CompilerDriver::compileBatch` to fan independent compilation
- * requests across cores. Deliberately tiny: FIFO queue, no
- * futures (batch results are written into pre-sized slots), and a
- * `wait()` barrier for the submitting thread.
+ * Minimal fixed-size thread pool shared by every internally parallel
+ * layer of the library: `CompilerDriver::compileBatch`, the shot
+ * execution backends, the portfolio racer, and (since the streaming
+ * rework) the per-QPU local compiles of `core/lsp_builder` and the
+ * chunked partition kernels in `partition/`. Deliberately tiny: FIFO
+ * queue, no futures (results are written into pre-sized slots), and
+ * a `wait()` barrier for the submitting thread. Lives in `common/`
+ * so the core layers can use it without depending on `api/`.
  */
 
-#ifndef DCMBQC_API_THREAD_POOL_HH
-#define DCMBQC_API_THREAD_POOL_HH
+#ifndef DCMBQC_COMMON_THREAD_POOL_HH
+#define DCMBQC_COMMON_THREAD_POOL_HH
 
 #include <condition_variable>
 #include <deque>
@@ -58,4 +61,4 @@ class ThreadPool
 
 } // namespace dcmbqc
 
-#endif // DCMBQC_API_THREAD_POOL_HH
+#endif // DCMBQC_COMMON_THREAD_POOL_HH

@@ -49,6 +49,19 @@ Schedule listSchedule(const LayerSchedulingProblem &lsp,
                       const std::vector<double> &sync_priority,
                       const std::optional<TaskPin> &pin = std::nullopt);
 
+/**
+ * The original monolithic slot loop, kept verbatim as the
+ * differential oracle for the segment-emitting streaming scheduler
+ * (`listScheduleStreamed`). `listSchedule` dispatches between the
+ * two on `compilePathConfig().streamingScheduler`; both produce
+ * byte-identical schedules by contract.
+ */
+Schedule listScheduleReference(
+    const LayerSchedulingProblem &lsp,
+    const std::vector<double> &main_priority,
+    const std::vector<double> &sync_priority,
+    const std::optional<TaskPin> &pin = std::nullopt);
+
 /** List scheduling with the paper's default priorities. */
 Schedule listScheduleDefault(const LayerSchedulingProblem &lsp);
 

@@ -1,6 +1,10 @@
 #include "core/lsp_builder.hh"
 
+#include <algorithm>
+
+#include "common/thread_pool.hh"
 #include "compiler/single_qpu.hh"
+#include "core/compile_path.hh"
 
 namespace dcmbqc
 {
@@ -10,22 +14,24 @@ buildLayerSchedulingProblem(const Graph &g, const Digraph &deps,
                             const Partitioning &part, int num_qpus,
                             const GridSpec &grid, PlacementOrder order,
                             int kmax,
-                            std::vector<LocalSchedule> *local_out)
+                            std::vector<LocalSchedule> *local_out,
+                            int num_workers)
 {
     const auto members = part.partMembers();
 
     // --- Per-QPU local compilation ----------------------------------
+    // Each part's induced subproblem is independent and the local
+    // compiler is stateless, so the compiles run on the shared pool
+    // into pre-sized slots; the assembly below walks the slots in
+    // QPU order, making the output independent of the worker count.
     SingleQpuConfig local_config;
     local_config.grid = grid;
     local_config.order = order;
     const SingleQpuCompiler local_compiler(local_config);
 
-    std::vector<MainTask> main_tasks;
-    std::vector<int> task_of_node(g.numNodes(), -1);
-    std::vector<LocalSchedule> locals;
-    locals.reserve(num_qpus);
+    std::vector<LocalSchedule> locals(num_qpus);
 
-    for (QpuId qpu = 0; qpu < num_qpus; ++qpu) {
+    auto compile_one = [&](QpuId qpu) {
         std::vector<NodeId> to_sub;
         const Graph sub = g.inducedSubgraph(members[qpu], &to_sub);
 
@@ -36,8 +42,27 @@ buildLayerSchedulingProblem(const Graph &g, const Digraph &deps,
                 if (to_sub[v] != invalidNode)
                     sub_deps.addArc(to_sub[u], to_sub[v]);
 
-        LocalSchedule local = local_compiler.compile(sub, sub_deps);
+        locals[qpu] = local_compiler.compile(sub, sub_deps);
+    };
 
+    if (num_workers <= 0)
+        num_workers = ThreadPool::defaultNumThreads();
+    num_workers = std::min(num_workers, num_qpus);
+    if (compilePathConfig().parallelLocal && num_workers > 1) {
+        ThreadPool pool(num_workers);
+        for (QpuId qpu = 0; qpu < num_qpus; ++qpu)
+            pool.submit([&, qpu] { compile_one(qpu); });
+        pool.wait();
+    } else {
+        for (QpuId qpu = 0; qpu < num_qpus; ++qpu)
+            compile_one(qpu);
+    }
+
+    // --- Sequential assembly (QPU order fixes the task ids) ---------
+    std::vector<MainTask> main_tasks;
+    std::vector<int> task_of_node(g.numNodes(), -1);
+    for (QpuId qpu = 0; qpu < num_qpus; ++qpu) {
+        const LocalSchedule &local = locals[qpu];
         for (std::size_t layer = 0; layer < local.layers.size();
              ++layer) {
             MainTask task;
@@ -52,7 +77,6 @@ buildLayerSchedulingProblem(const Graph &g, const Digraph &deps,
             }
             main_tasks.push_back(std::move(task));
         }
-        locals.push_back(std::move(local));
     }
     if (local_out)
         *local_out = std::move(locals);

@@ -36,11 +36,18 @@ namespace dcmbqc
  * @param order Placement order for the local compiler.
  * @param kmax Connection capacity per connection layer.
  * @param local_out Optional out: the per-QPU local schedules.
+ * @param num_workers Workers for the per-QPU compiles (<= 0 uses
+ *        the hardware default). The per-part subproblems are
+ *        independent and assembled in QPU order afterwards, so the
+ *        result is byte-identical for every worker count; the
+ *        sequential path is kept behind
+ *        `compilePathConfig().parallelLocal` as the oracle.
  */
 LayerSchedulingProblem buildLayerSchedulingProblem(
     const Graph &g, const Digraph &deps, const Partitioning &part,
     int num_qpus, const GridSpec &grid, PlacementOrder order, int kmax,
-    std::vector<LocalSchedule> *local_out = nullptr);
+    std::vector<LocalSchedule> *local_out = nullptr,
+    int num_workers = 0);
 
 } // namespace dcmbqc
 

@@ -1,11 +1,9 @@
-#include "core/list_scheduler.hh"
+#include "core/streaming_schedule.hh"
 
 #include <algorithm>
 #include <numeric>
 
 #include "common/logging.hh"
-#include "core/compile_path.hh"
-#include "core/streaming_schedule.hh"
 
 namespace dcmbqc
 {
@@ -28,27 +26,14 @@ struct QpuSlotState
 
 } // namespace
 
-Schedule
-listSchedule(const LayerSchedulingProblem &lsp,
-             const std::vector<double> &main_priority,
-             const std::vector<double> &sync_priority,
-             const std::optional<TaskPin> &pin)
-{
-    if (compilePathConfig().streamingScheduler) {
-        // One whole-input window, no checkpoint: cannot fail.
-        return listScheduleStreamed(lsp, main_priority, sync_priority,
-                                    pin, StreamWindow{})
-            .value();
-    }
-    return listScheduleReference(lsp, main_priority, sync_priority,
-                                 pin);
-}
-
-Schedule
-listScheduleReference(const LayerSchedulingProblem &lsp,
-                      const std::vector<double> &main_priority,
-                      const std::vector<double> &sync_priority,
-                      const std::optional<TaskPin> &pin)
+Expected<Schedule>
+listScheduleStreamed(const LayerSchedulingProblem &lsp,
+                     const std::vector<double> &main_priority,
+                     const std::vector<double> &sync_priority,
+                     const std::optional<TaskPin> &pin,
+                     const StreamWindow &window,
+                     const WindowCheckpoint &checkpoint,
+                     const SegmentSink &sink, StreamStats *stats)
 {
     const auto &mains = lsp.mainTasks();
     const auto &syncs = lsp.syncTasks();
@@ -65,6 +50,8 @@ listScheduleReference(const LayerSchedulingProblem &lsp,
     std::vector<std::size_t> next_main(lsp.numQpus(), 0);
 
     // Sync tasks sorted by priority; compacted as they schedule.
+    // Sync tasks have no release slot, so all of them stay resident
+    // for the whole run -- this vector is the scheduler's live set.
     std::vector<int> sync_order(syncs.size());
     std::iota(sync_order.begin(), sync_order.end(), 0);
     std::stable_sort(sync_order.begin(), sync_order.end(),
@@ -77,6 +64,7 @@ listScheduleReference(const LayerSchedulingProblem &lsp,
 
     std::size_t mains_left = mains.size();
     std::size_t syncs_left = syncs.size();
+    const std::uint64_t total_tasks = mains.size() + syncs.size();
 
     TimeSlot max_release = 0;
     for (std::size_t i = 0; i < mains.size(); ++i)
@@ -85,6 +73,36 @@ listScheduleReference(const LayerSchedulingProblem &lsp,
     const TimeSlot horizon_guard = static_cast<TimeSlot>(
         4 * (mains.size() + syncs.size()) + 64 + max_release +
         (pin ? std::max<TimeSlot>(pin->slot, 0) : 0));
+
+    StreamStats local;
+    local.schedulerLivePeak = syncs.size();
+
+    ScheduleSegment segment;
+    std::uint32_t window_index = 0;
+
+    // Flush the settled [segment.beginSlot, end_slot) range: hand it
+    // to the sink, then give cancellation/progress a turn.
+    auto flush = [&](TimeSlot end_slot) -> Status {
+        segment.endSlot = end_slot;
+        if (sink)
+            sink(segment);
+        ++local.segmentsEmitted;
+        ++local.windows;
+        Status status = Status::okStatus();
+        if (checkpoint) {
+            WindowEvent event;
+            event.index = window_index;
+            event.settled =
+                total_tasks - (mains_left + syncs_left);
+            event.total = total_tasks;
+            event.frontierLive = mains_left + syncs_left;
+            status = checkpoint(event);
+        }
+        ++window_index;
+        segment = ScheduleSegment();
+        segment.beginSlot = end_slot;
+        return status;
+    };
 
     std::vector<QpuSlotState> state(lsp.numQpus());
     for (TimeSlot t = 0; mains_left + syncs_left > 0; ++t) {
@@ -103,6 +121,7 @@ listScheduleReference(const LayerSchedulingProblem &lsp,
                 return false;
             state[qpu].main = true;
             schedule.mainStart[task_id] = t;
+            segment.mainStarts.emplace_back(task_id, t);
             ++next_main[qpu];
             --mains_left;
             return true;
@@ -119,6 +138,7 @@ listScheduleReference(const LayerSchedulingProblem &lsp,
             ++state[qa].syncs;
             ++state[qb].syncs;
             schedule.syncStart[sync_id] = t;
+            segment.syncStarts.emplace_back(sync_id, t);
             --syncs_left;
             return true;
         };
@@ -211,6 +231,14 @@ listScheduleReference(const LayerSchedulingProblem &lsp,
             }
             sync_order.resize(new_size);
         }
+
+        if (window.active() &&
+            static_cast<std::uint64_t>(t + 1 - segment.beginSlot) >=
+                window.size) {
+            Status status = flush(t + 1);
+            if (!status.ok())
+                return status;
+        }
     }
 
     TimeSlot last = -1;
@@ -219,23 +247,20 @@ listScheduleReference(const LayerSchedulingProblem &lsp,
     for (TimeSlot t : schedule.syncStart)
         last = std::max(last, t);
     schedule.makespan = last + 1;
-    return schedule;
-}
 
-Schedule
-listScheduleDefault(const LayerSchedulingProblem &lsp)
-{
-    std::vector<double> main_priority(lsp.mainTasks().size());
-    for (std::size_t i = 0; i < main_priority.size(); ++i)
-        main_priority[i] = lsp.mainTasks()[i].index;
-    std::vector<double> sync_priority(lsp.syncTasks().size());
-    for (std::size_t k = 0; k < sync_priority.size(); ++k) {
-        const auto &sync = lsp.syncTasks()[k];
-        sync_priority[k] =
-            0.5 * (lsp.mainTasks()[sync.taskA].index +
-                   lsp.mainTasks()[sync.taskB].index);
+    // Final (or only) segment: covers through the end of the
+    // makespan, and fires the end-of-stage checkpoint.
+    if (!window.active() || segment.beginSlot < schedule.makespan ||
+        local.segmentsEmitted == 0) {
+        Status status = flush(std::max(schedule.makespan,
+                                       segment.beginSlot));
+        if (!status.ok())
+            return status;
     }
-    return listSchedule(lsp, main_priority, sync_priority);
+
+    if (stats != nullptr)
+        stats->merge(local);
+    return schedule;
 }
 
 } // namespace dcmbqc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Layer-streamed list scheduling: the greedy slot loop of
+ * `listSchedule` with settled-timeline segments emitted as it runs.
+ *
+ * The slot loop is monotone — once slot t has been processed, every
+ * assignment at slots <= t is final — so the scheduler can hand out
+ * its timeline in windows of `window.size` slots without changing a
+ * single placement decision. For every window size (including 0 =
+ * one segment over the whole makespan) the returned Schedule is
+ * byte-identical to the monolithic reference scheduler's; the
+ * segments are the same schedule, delivered incrementally.
+ *
+ * Window boundaries double as checkpoints: the driver's
+ * `WindowCheckpoint` consults cancellation/deadline state and fans
+ * out to progress observers between segments, which is how a
+ * million-task schedule stays preemptible mid-pass.
+ */
+
+#ifndef DCMBQC_CORE_STREAMING_SCHEDULE_HH
+#define DCMBQC_CORE_STREAMING_SCHEDULE_HH
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "api/status.hh"
+#include "core/list_scheduler.hh"
+#include "core/stream_window.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * A contiguous, settled range of the timeline: every main/sync task
+ * that starts in [beginSlot, endSlot) with its start slot. Segments
+ * arrive in slot order and partition the final makespan.
+ */
+struct ScheduleSegment
+{
+    TimeSlot beginSlot = 0;
+    TimeSlot endSlot = 0; ///< exclusive
+
+    /** (main task id, start slot) pairs settled in this segment. */
+    std::vector<std::pair<int, TimeSlot>> mainStarts;
+
+    /** (sync task id, start slot) pairs settled in this segment. */
+    std::vector<std::pair<int, TimeSlot>> syncStarts;
+};
+
+/** Consumer of settled timeline segments. */
+using SegmentSink = std::function<void(const ScheduleSegment &)>;
+
+/**
+ * Slot-by-slot list scheduling with windowed segment emission.
+ * Identical placement policy to `listSchedule` (same candidate
+ * merge, pin handling, and connection-layer fill pass); returns the
+ * checkpoint's status unchanged when a checkpoint aborts the run.
+ * High-water marks (live unscheduled syncs, segments emitted) are
+ * merged into `*stats` when non-null.
+ */
+Expected<Schedule> listScheduleStreamed(
+    const LayerSchedulingProblem &lsp,
+    const std::vector<double> &main_priority,
+    const std::vector<double> &sync_priority,
+    const std::optional<TaskPin> &pin, const StreamWindow &window,
+    const WindowCheckpoint &checkpoint = {},
+    const SegmentSink &sink = {}, StreamStats *stats = nullptr);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_CORE_STREAMING_SCHEDULE_HH

@@ -4,7 +4,7 @@
 #include <chrono>
 #include <mutex>
 
-#include "api/thread_pool.hh"
+#include "common/thread_pool.hh"
 #include "exec/loss_backend.hh"
 #include "exec/schedule_backend.hh"
 #include "exec/stabilizer_backend.hh"

@@ -1,0 +1,254 @@
+#include "mbqc/streaming_builder.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/transpile.hh"
+#include "common/logging.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+/** Key for an undirected node pair (same packing as pattern_builder). */
+std::uint64_t
+pairKey(NodeId a, NodeId b)
+{
+    const std::uint64_t lo = static_cast<std::uint32_t>(std::min(a, b));
+    const std::uint64_t hi = static_cast<std::uint32_t>(std::max(a, b));
+    return (hi << 32) | lo;
+}
+
+/**
+ * One CZ-toggled pair that has been switched on at least once.
+ * Stored in first-toggle-on order, which is exactly the order the
+ * monolithic builder's final edge_order scan would emit it in; `on`
+ * tracks the current toggle parity in place, so re-toggling never
+ * appends a duplicate and the pair keeps its first position.
+ */
+struct PendingEdge
+{
+    NodeId a;
+    NodeId b;
+    bool on;
+    bool frozen;
+};
+
+/**
+ * Incremental core: feeds J/CZ ops one at a time, emits each settled
+ * surviving edge the moment it reaches the front of the pending
+ * queue (emitting earlier would reorder Graph::addEdge calls and
+ * break byte-identity with the monolithic builder).
+ */
+class SettledPrefixBuilder
+{
+  public:
+    explicit SettledPrefixBuilder(int num_qubits)
+        : cur_(static_cast<std::size_t>(num_qubits))
+    {
+        for (QubitId w = 0; w < num_qubits; ++w)
+            cur_[w] = pattern_.addNode(w);
+    }
+
+    void
+    feed(const JOp &op)
+    {
+        if (op.kind == JOp::Kind::CZ) {
+            toggle(cur_[op.q0], cur_[op.q1]);
+            return;
+        }
+        const NodeId m = cur_[op.q0];
+        const NodeId n = pattern_.addNode(op.q0);
+        toggle(m, n);
+        // J(alpha) measures the old node at -alpha; flow f(m)=n.
+        pattern_.setMeasurement(m, -op.angle, n);
+        cur_[op.q0] = n;
+        // m left the frontier: every pair touching it is settled.
+        retire(m);
+        drain();
+    }
+
+    Pattern
+    finish()
+    {
+        // End of input settles everything still pending.
+        for (auto &entry : pending_)
+            entry.frozen = true;
+        live_keys_.clear();
+        node_entries_.clear();
+        drain();
+        DCMBQC_ASSERT(pending_.empty(),
+                      "streaming builder left pending edges");
+        pattern_.setOutputs(cur_);
+        pattern_.validate();
+        return std::move(pattern_);
+    }
+
+    std::uint64_t pendingEdges() const { return pending_.size(); }
+
+    std::uint64_t frontierNodes() const { return cur_.size(); }
+
+    /** Rough live-state footprint (frontier + pending indexes). */
+    std::uint64_t
+    liveBytes() const
+    {
+        const std::uint64_t map_entry = 64; // node + bucket overhead
+        return cur_.size() * sizeof(NodeId) +
+               pending_.size() * sizeof(PendingEdge) +
+               live_keys_.size() * map_entry +
+               node_entries_.size() * map_entry +
+               node_positions_ * sizeof(std::uint64_t);
+    }
+
+  private:
+    void
+    toggle(NodeId a, NodeId b)
+    {
+        const std::uint64_t key = pairKey(a, b);
+        auto it = live_keys_.find(key);
+        if (it != live_keys_.end()) {
+            pending_[it->second - base_].on ^= true;
+            return;
+        }
+        const std::uint64_t pos = base_ + pending_.size();
+        live_keys_.emplace(key, pos);
+        node_entries_[a].push_back(pos);
+        node_entries_[b].push_back(pos);
+        node_positions_ += 2;
+        pending_.push_back({a, b, true, false});
+    }
+
+    void
+    retire(NodeId m)
+    {
+        auto it = node_entries_.find(m);
+        if (it == node_entries_.end())
+            return;
+        for (const std::uint64_t pos : it->second) {
+            if (pos < base_)
+                continue; // already emitted via the other endpoint
+            PendingEdge &entry = pending_[pos - base_];
+            if (entry.frozen)
+                continue;
+            entry.frozen = true;
+            live_keys_.erase(pairKey(entry.a, entry.b));
+        }
+        node_positions_ -= it->second.size();
+        node_entries_.erase(it);
+    }
+
+    void
+    drain()
+    {
+        while (!pending_.empty() && pending_.front().frozen) {
+            const PendingEdge &entry = pending_.front();
+            if (entry.on)
+                pattern_.addEdge(entry.a, entry.b);
+            pending_.pop_front();
+            ++base_;
+        }
+    }
+
+    Pattern pattern_;
+    std::vector<NodeId> cur_;
+
+    /** Settled-prefix queue; index of front() is base_. */
+    std::deque<PendingEdge> pending_;
+    std::uint64_t base_ = 0;
+
+    /** pairKey -> absolute position of the still-toggleable entry. */
+    std::unordered_map<std::uint64_t, std::uint64_t> live_keys_;
+
+    /** Frontier node -> positions of its not-yet-frozen entries. */
+    std::unordered_map<NodeId, std::vector<std::uint64_t>>
+        node_entries_;
+    std::uint64_t node_positions_ = 0;
+};
+
+} // namespace
+
+Expected<Pattern>
+buildPatternStreamed(CircuitStream &stream, const StreamWindow &window,
+                     const WindowCheckpoint &checkpoint,
+                     StreamStats *stats)
+{
+    DCMBQC_ASSERT(stream.numQubits() >= 1,
+                  "streamed circuit must have at least one qubit");
+    stream.reset();
+
+    SettledPrefixBuilder builder(stream.numQubits());
+    StreamStats local;
+
+    const std::uint64_t total = stream.totalGates();
+    // Ingest chunk: the window when active, else a fixed batch that
+    // bounds the scratch gate/op buffers without adding checkpoints.
+    const std::size_t chunk =
+        window.active() ? window.size : std::size_t{4096};
+
+    std::vector<Gate> gates;
+    std::vector<JOp> ops;
+    std::uint64_t consumed = 0;
+    std::uint32_t window_index = 0;
+
+    for (;;) {
+        gates.clear();
+        const std::size_t got = stream.next(chunk, gates);
+        if (got == 0)
+            break;
+        for (const Gate &gate : gates) {
+            ops.clear();
+            appendGateJOps(gate, ops);
+            for (const JOp &op : ops)
+                builder.feed(op);
+        }
+        consumed += got;
+        local.opsStreamed += got;
+        local.pendingEdgePeak =
+            std::max(local.pendingEdgePeak, builder.pendingEdges());
+        local.frontierNodePeak =
+            std::max(local.frontierNodePeak, builder.frontierNodes());
+        local.liveBytesPeak =
+            std::max(local.liveBytesPeak, builder.liveBytes());
+        if (window.active()) {
+            ++local.windows;
+            if (checkpoint) {
+                WindowEvent event;
+                event.index = window_index;
+                event.settled = consumed;
+                event.total = total;
+                event.frontierLive = builder.pendingEdges();
+                Status status = checkpoint(event);
+                if (!status.ok())
+                    return status;
+            }
+            ++window_index;
+        }
+    }
+
+    if (!window.active()) {
+        // Whole input was one window; fire the checkpoint once.
+        ++local.windows;
+        if (checkpoint) {
+            WindowEvent event;
+            event.index = 0;
+            event.settled = consumed;
+            event.total = total;
+            event.frontierLive = builder.pendingEdges();
+            Status status = checkpoint(event);
+            if (!status.ok())
+                return status;
+        }
+    }
+
+    Pattern pattern = builder.finish();
+    if (stats != nullptr)
+        stats->merge(local);
+    return pattern;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Windowed pattern construction over a `CircuitStream`.
+ *
+ * `buildPatternStreamed` produces a Pattern byte-identical to
+ * `buildPattern(transpileToJCz(stream.materialize()))` without ever
+ * materializing the gate list or the lowered J/CZ program: gates are
+ * lowered window by window through the same per-gate kernel the
+ * monolithic transpiler uses (`appendGateJOps`), and graph-state
+ * edges are emitted as soon as they are *settled* — once either
+ * endpoint of a CZ-toggled pair is retired by a J measurement, no
+ * later gate can toggle that pair again, so its final on/off state
+ * is known mid-stream. Live state is bounded by the open frontier
+ * (one current node per wire plus the still-toggleable edge
+ * entries), not by program length.
+ *
+ * Between windows the builder fires the `WindowCheckpoint`, which is
+ * where cancellation, deadlines, and progress observers preempt a
+ * multi-million-gate build.
+ */
+
+#ifndef DCMBQC_MBQC_STREAMING_BUILDER_HH
+#define DCMBQC_MBQC_STREAMING_BUILDER_HH
+
+#include "api/status.hh"
+#include "circuit/circuit_stream.hh"
+#include "core/stream_window.hh"
+#include "mbqc/pattern.hh"
+
+namespace dcmbqc
+{
+
+/**
+ * Build the measurement pattern of `stream`, ingesting
+ * `window.size` gates between checkpoints (0 = whole input as one
+ * window; the checkpoint then fires once at the end). The stream is
+ * reset before the build.
+ *
+ * Returns the checkpoint's status unchanged when it aborts the
+ * build (Cancelled, DeadlineExceeded). High-water marks are merged
+ * into `*stats` when non-null.
+ *
+ * For every window size and any checkpoint, the returned Pattern is
+ * byte-identical to the monolithic
+ * `buildPattern(transpileToJCz(...))` on the materialized circuit:
+ * node ids, edge order, measurement order, and outputs all match.
+ */
+Expected<Pattern> buildPatternStreamed(
+    CircuitStream &stream, const StreamWindow &window,
+    const WindowCheckpoint &checkpoint = {},
+    StreamStats *stats = nullptr);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_MBQC_STREAMING_BUILDER_HH

@@ -1,0 +1,146 @@
+#include "partition/coarsen.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/thread_pool.hh"
+
+namespace dcmbqc
+{
+
+namespace
+{
+
+/** Chunk size of the parallel edge aggregation. Fixed so the chunk
+ *  decomposition depends on the edge count only, not the workers. */
+constexpr std::size_t kContractChunk = 1 << 16;
+
+/** Key for an undirected coarse node pair. */
+std::uint64_t
+coarseKey(NodeId a, NodeId b)
+{
+    const std::uint64_t lo = static_cast<std::uint32_t>(std::min(a, b));
+    const std::uint64_t hi = static_cast<std::uint32_t>(std::max(a, b));
+    return (hi << 32) | lo;
+}
+
+/** Aggregated coarse pair: first fine-edge index fixes both the
+ *  emission position and the stored (u, v) orientation. */
+struct CoarseAcc
+{
+    std::size_t first;
+    NodeId cu;
+    NodeId cv;
+    int weight;
+};
+
+void
+assignCoarseIds(const Graph &g, const std::vector<NodeId> &match,
+                std::vector<NodeId> &to_coarse, NodeId &num_coarse)
+{
+    const NodeId n = g.numNodes();
+    to_coarse.assign(n, invalidNode);
+    NodeId next = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        if (to_coarse[u] != invalidNode)
+            continue;
+        const NodeId partner = match[u];
+        to_coarse[u] = next;
+        if (partner != u)
+            to_coarse[partner] = next;
+        ++next;
+    }
+    num_coarse = next;
+}
+
+} // namespace
+
+Graph
+contractMatching(const Graph &g, const std::vector<NodeId> &match,
+                 std::vector<NodeId> &to_coarse, ThreadPool *pool)
+{
+    const NodeId n = g.numNodes();
+    NodeId next = 0;
+    assignCoarseIds(g, match, to_coarse, next);
+
+    Graph coarse(next);
+    std::vector<int> weights(next, 0);
+    for (NodeId u = 0; u < n; ++u)
+        weights[to_coarse[u]] += g.nodeWeight(u);
+    for (NodeId cu = 0; cu < next; ++cu)
+        coarse.setNodeWeight(cu, weights[cu]);
+
+    const auto &edges = g.edges();
+    const bool use_parallel = pool != nullptr &&
+        pool->numThreads() > 1 && edges.size() >= 2 * kContractChunk;
+
+    if (!use_parallel) {
+        for (const auto &e : edges) {
+            const NodeId cu = to_coarse[e.u];
+            const NodeId cv = to_coarse[e.v];
+            if (cu != cv)
+                coarse.addEdge(cu, cv, e.weight,
+                               /*merge_parallel=*/true);
+        }
+        return coarse;
+    }
+
+    // Per-chunk aggregation (workers), then an order-invariant merge
+    // keyed on the first fine-edge index of each coarse pair.
+    const std::size_t num_chunks =
+        (edges.size() + kContractChunk - 1) / kContractChunk;
+    std::vector<std::unordered_map<std::uint64_t, CoarseAcc>> maps(
+        num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+        pool->submit([&, c] {
+            const std::size_t begin = c * kContractChunk;
+            const std::size_t end =
+                std::min(begin + kContractChunk, edges.size());
+            auto &map = maps[c];
+            for (std::size_t i = begin; i < end; ++i) {
+                const auto &e = edges[i];
+                const NodeId cu = to_coarse[e.u];
+                const NodeId cv = to_coarse[e.v];
+                if (cu == cv)
+                    continue;
+                auto [it, inserted] = map.emplace(
+                    coarseKey(cu, cv), CoarseAcc{i, cu, cv, e.weight});
+                if (!inserted)
+                    it->second.weight += e.weight;
+            }
+        });
+    }
+    pool->wait();
+
+    std::unordered_map<std::uint64_t, CoarseAcc> merged;
+    for (auto &map : maps) {
+        for (auto &[key, acc] : map) {
+            auto [it, inserted] = merged.emplace(key, acc);
+            if (inserted)
+                continue;
+            CoarseAcc &into = it->second;
+            into.weight += acc.weight;
+            if (acc.first < into.first) {
+                into.first = acc.first;
+                into.cu = acc.cu;
+                into.cv = acc.cv;
+            }
+        }
+    }
+
+    std::vector<const CoarseAcc *> order;
+    order.reserve(merged.size());
+    for (const auto &[key, acc] : merged)
+        order.push_back(&acc);
+    std::sort(order.begin(), order.end(),
+              [](const CoarseAcc *a, const CoarseAcc *b) {
+                  return a->first < b->first;
+              });
+    for (const CoarseAcc *acc : order)
+        coarse.addEdge(acc->cu, acc->cv, acc->weight,
+                       /*merge_parallel=*/false);
+    return coarse;
+}
+
+} // namespace dcmbqc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Matching contraction for the multilevel partitioner, with an
+ * optional parallel edge-aggregation path.
+ *
+ * Contraction dominates the coarsening phase on million-node
+ * computation graphs (one hash probe per fine edge). The parallel
+ * path chunks the fine edge list into fixed-size ranges (a function
+ * of the edge count only, never the worker count), aggregates each
+ * chunk's coarse pairs independently, and merges by (first global
+ * edge index, first-occurrence orientation, exact integer weight
+ * sum). Because `Graph::addEdge(merge_parallel)` appends each unique
+ * pair at its first occurrence and only accumulates weight
+ * afterwards, replaying the merged pairs sorted by first index
+ * reproduces the sequential coarse graph byte for byte — same edge
+ * order, same orientations, same adjacency layout — for any worker
+ * count.
+ */
+
+#ifndef DCMBQC_PARTITION_COARSEN_HH
+#define DCMBQC_PARTITION_COARSEN_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace dcmbqc
+{
+
+class ThreadPool;
+
+/**
+ * Contract `g` along a matching (`match[u]` = partner of u, or u
+ * itself when unmatched). Coarse ids are assigned in fine-node order
+ * (the lower endpoint of each matched pair names the coarse node).
+ *
+ * @param to_coarse Out-map from fine to coarse node ids.
+ * @param pool Optional worker pool for the edge aggregation; null or
+ *        single-threaded pools (and small graphs) use the sequential
+ *        merge loop. The result is identical either way.
+ */
+Graph contractMatching(const Graph &g,
+                       const std::vector<NodeId> &match,
+                       std::vector<NodeId> &to_coarse,
+                       ThreadPool *pool = nullptr);
+
+} // namespace dcmbqc
+
+#endif // DCMBQC_PARTITION_COARSEN_HH

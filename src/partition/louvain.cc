@@ -1,10 +1,14 @@
 #include "partition/louvain.hh"
 
+#include <algorithm>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "core/compile_path.hh"
 
 namespace dcmbqc
 {
@@ -88,6 +92,135 @@ localMovePhase(const Graph &g, const std::vector<double> &self_weight,
     return any_move;
 }
 
+/** Node-chunk size of the parallel propose phase; fixed so the
+ *  decomposition depends on the node count only, not the workers. */
+constexpr std::size_t kProposeChunk = 2048;
+
+/**
+ * Propose-parallel / apply-sequential move rounds. Proposals are
+ * computed against the community state frozen at the round start
+ * (safe to evaluate concurrently: the round only reads); the
+ * sequential apply sweep walks the same shuffled order as the
+ * reference phase and revalidates each proposal against the current
+ * state in O(deg) before committing. Both phases are functions of
+ * (graph, seed) alone, so the result is identical for every worker
+ * count, including the no-pool fallback.
+ */
+bool
+localMovePhaseRounds(const Graph &g,
+                     const std::vector<double> &self_weight,
+                     double two_m, std::vector<int> &community,
+                     Rng &rng, double min_gain, ThreadPool *pool)
+{
+    const NodeId n = g.numNodes();
+    if (two_m <= 0.0)
+        return false;
+
+    std::vector<double> degree(n, 0.0);
+    for (NodeId u = 0; u < n; ++u)
+        degree[u] = static_cast<double>(g.weightedDegree(u)) +
+            2.0 * self_weight[u];
+
+    std::vector<double> community_degree(n, 0.0);
+    for (NodeId u = 0; u < n; ++u)
+        community_degree[community[u]] += degree[u];
+
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    // Best move of node u against the frozen round-start state.
+    auto propose_one = [&](NodeId u,
+                           std::unordered_map<int, double> &scratch) {
+        const int from = community[u];
+        scratch.clear();
+        for (const auto &adj : g.adjacency(u))
+            scratch[community[adj.neighbor]] +=
+                static_cast<double>(adj.weight);
+        auto score = [&](int c) {
+            const double w = scratch.count(c) ? scratch.at(c) : 0.0;
+            const double sigma = community_degree[c] -
+                (c == from ? degree[u] : 0.0);
+            return w - degree[u] * sigma / two_m;
+        };
+        int best = from;
+        double best_score = score(from);
+        for (const auto &[c, w] : scratch) {
+            (void)w;
+            if (c == from)
+                continue;
+            const double s = score(c);
+            if (s > best_score + min_gain) {
+                best_score = s;
+                best = c;
+            }
+        }
+        return best;
+    };
+
+    std::vector<int> proposal(n);
+    std::unordered_map<int, double> neighbor_weight;
+    bool any_move = false;
+    bool improved = true;
+    int guard = 0;
+    while (improved && guard++ < 64) {
+        improved = false;
+
+        // Propose phase: read-only over the frozen state.
+        const std::size_t num_chunks =
+            (static_cast<std::size_t>(n) + kProposeChunk - 1) /
+            kProposeChunk;
+        if (pool != nullptr && pool->numThreads() > 1 &&
+            num_chunks > 1) {
+            for (std::size_t c = 0; c < num_chunks; ++c) {
+                pool->submit([&, c] {
+                    std::unordered_map<int, double> scratch;
+                    const std::size_t begin = c * kProposeChunk;
+                    const std::size_t end = std::min(
+                        begin + kProposeChunk,
+                        static_cast<std::size_t>(n));
+                    for (std::size_t i = begin; i < end; ++i) {
+                        const NodeId u = order[i];
+                        proposal[u] = propose_one(u, scratch);
+                    }
+                });
+            }
+            pool->wait();
+        } else {
+            for (NodeId u : order)
+                proposal[u] = propose_one(u, neighbor_weight);
+        }
+
+        // Apply phase: sequential sweep in the same shuffled order,
+        // revalidating each proposal against the live state.
+        for (NodeId u : order) {
+            const int from = community[u];
+            const int target = proposal[u];
+            if (target == from)
+                continue;
+            neighbor_weight.clear();
+            for (const auto &adj : g.adjacency(u))
+                neighbor_weight[community[adj.neighbor]] +=
+                    static_cast<double>(adj.weight);
+            community_degree[from] -= degree[u];
+            auto score = [&](int c) {
+                const double w = neighbor_weight.count(c)
+                    ? neighbor_weight.at(c) : 0.0;
+                return w - degree[u] * community_degree[c] / two_m;
+            };
+            if (score(target) > score(from) + min_gain) {
+                community[u] = target;
+                community_degree[target] += degree[u];
+                improved = true;
+                any_move = true;
+            } else {
+                community_degree[from] += degree[u];
+            }
+        }
+    }
+    return any_move;
+}
+
 /** Renumber community ids to be dense; returns the number of parts. */
 int
 densify(std::vector<int> &community)
@@ -145,12 +278,28 @@ louvain(const Graph &g, const LouvainConfig &config)
     Graph level_graph = g;
     std::vector<double> self_weight(n, 0.0);
 
+    // Concurrent rounds are a semantic switch (round-based versus
+    // immediate-apply move schedule), so the choice follows the
+    // compile-path flag, never the worker count.
+    const bool use_rounds = compilePathConfig().parallelPartition;
+    std::unique_ptr<ThreadPool> pool;
+    if (use_rounds) {
+        const int workers = config.numWorkers > 0
+            ? config.numWorkers
+            : ThreadPool::defaultNumThreads();
+        if (workers > 1)
+            pool = std::make_unique<ThreadPool>(workers);
+    }
+
     for (int level = 0; level < config.maxLevels; ++level) {
         std::vector<int> community(level_graph.numNodes());
         std::iota(community.begin(), community.end(), 0);
-        const bool moved = localMovePhase(level_graph, self_weight,
-                                          two_m, community, rng,
-                                          config.minGain);
+        const bool moved = use_rounds
+            ? localMovePhaseRounds(level_graph, self_weight, two_m,
+                                   community, rng, config.minGain,
+                                   pool.get())
+            : localMovePhase(level_graph, self_weight, two_m,
+                             community, rng, config.minGain);
         if (!moved)
             break;
         const int k = densify(community);

@@ -27,6 +27,20 @@ struct LouvainConfig
     int maxLevels = 16;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Workers for the concurrent move rounds (<= 0 uses the hardware
+     * default). When `compilePathConfig().parallelPartition` is on,
+     * local moves run as propose-parallel / apply-sequential rounds:
+     * proposals are computed against the community state frozen at
+     * the round start and applied in the seed-pinned node order with
+     * an O(deg) revalidation, so the communities depend only on
+     * (graph, seed) — never on the worker count. The round-based
+     * schedule may converge to different (equally valid) communities
+     * than the sequential immediate-apply schedule, which remains
+     * available as the reference path when the flag is off.
+     */
+    int numWorkers = 0;
 };
 
 /**

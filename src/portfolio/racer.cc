@@ -10,7 +10,7 @@
 #include <utility>
 
 #include "api/cancellation.hh"
-#include "api/thread_pool.hh"
+#include "common/thread_pool.hh"
 #include "exec/backend.hh"
 #include "exec/loss_backend.hh"
 #include "mbqc/dependency.hh"

@@ -323,15 +323,25 @@ encodeServiceJob(const ServiceJob &job)
 {
     BinaryWriter writer;
     const CompileRequest &request = *job.request;
-    writer.writeU8(static_cast<std::uint8_t>(request.entryPoint()) + 1);
     switch (request.entryPoint()) {
       case CompileRequest::EntryPoint::Circuit:
+        writer.writeU8(1);
         encodeCircuit(writer, request.circuit());
         break;
+      case CompileRequest::EntryPoint::CircuitStream:
+        // Streams cross the wire materialized under the Circuit tag:
+        // the compiled artifact is byte-identical either way, and the
+        // daemon's windowed ingest is governed by `job.window`, not
+        // by the entry representation.
+        writer.writeU8(1);
+        encodeCircuit(writer, request.stream().materialize());
+        break;
       case CompileRequest::EntryPoint::Pattern:
+        writer.writeU8(2);
         encodePattern(writer, request.pattern());
         break;
       case CompileRequest::EntryPoint::Graph:
+        writer.writeU8(3);
         encodeGraph(writer, request.graph());
         encodeDigraph(writer, request.deps());
         break;
@@ -346,6 +356,7 @@ encodeServiceJob(const ServiceJob &job)
         writeExecOptions(writer, backend);
     writeOptionalNoise(writer, job.noise);
     writer.writeU32(job.portfolio);
+    writer.writeU32(job.window);
     return writer.take();
 }
 
@@ -408,6 +419,7 @@ decodeServiceJob(const std::vector<std::uint8_t> &bytes)
         reader.fail("portfolio candidate count " +
                     std::to_string(job.portfolio) +
                     " exceeds the limit of 64");
+    job.window = reader.readU32();
 
     if (!reader.ok())
         return reader.status();
@@ -505,6 +517,11 @@ encodeProgressEvent(const ProgressEvent &event)
     writer.writeU8(event.finished ? 1 : 0);
     writer.writeF64(event.millis);
     writer.writeString(event.note);
+    writer.writeU8(event.window ? 1 : 0);
+    writer.writeU32(event.windowIndex);
+    writer.writeU64(event.windowSettled);
+    writer.writeU64(event.windowTotal);
+    writer.writeU64(event.frontierLive);
     return writer.take();
 }
 
@@ -522,6 +539,15 @@ decodeProgressEvent(const std::vector<std::uint8_t> &bytes)
     event.finished = finished == 1;
     event.millis = reader.readF64();
     event.note = reader.readString();
+    const std::uint8_t window = reader.readU8();
+    if (window > 1)
+        reader.fail("invalid progress window flag " +
+                    std::to_string(window));
+    event.window = window == 1;
+    event.windowIndex = reader.readU32();
+    event.windowSettled = reader.readU64();
+    event.windowTotal = reader.readU64();
+    event.frontierLive = reader.readU64();
     if (!reader.ok())
         return reader.status();
     if (!reader.atEnd())

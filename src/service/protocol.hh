@@ -46,10 +46,11 @@ namespace dcmbqc
  * Current service protocol version. v2 added the optional NoiseConfig
  * passenger to ServiceJob and to every embedded ExecOptions; v3
  * added the ServiceJob portfolio candidate count and the portfolio
- * section of ServiceStats. Frames from older peers are rejected at
- * the header (no silent re-parse).
+ * section of ServiceStats; v4 added the ServiceJob streaming window
+ * size and the window-granular fields of ProgressEvent. Frames from
+ * older peers are rejected at the header (no silent re-parse).
  */
-inline constexpr std::uint16_t serviceProtocolVersion = 3;
+inline constexpr std::uint16_t serviceProtocolVersion = 4;
 
 /** Hard ceiling on a frame payload (guards allocation bombs). */
 inline constexpr std::size_t serviceMaxFramePayload =
@@ -196,6 +197,16 @@ struct ServiceJob
      * race table attached. 0 and 1 both mean a plain K=1 compile.
      */
     std::uint32_t portfolio = 0;
+
+    /**
+     * Streaming window size in gates (`CompileOptions::window`):
+     * values > 0 run the job through the windowed front end with
+     * this ingest bound, and (with `streamProgress`) stream
+     * window-granular Progress frames between pass boundaries.
+     * Execution knob only — the reply artifact is byte-identical for
+     * every window size. 0 = monolithic ingest (v4).
+     */
+    std::uint32_t window = 0;
 };
 
 std::vector<std::uint8_t> encodeServiceJob(const ServiceJob &job);
@@ -247,7 +258,11 @@ std::vector<std::uint8_t> encodeCompileReply(const CompileReply &reply);
 Expected<CompileReply>
 decodeCompileReply(const std::vector<std::uint8_t> &bytes);
 
-/** One streamed pass-boundary event (`Progress` frame payload). */
+/**
+ * One streamed progress event (`Progress` frame payload): a pass
+ * boundary (begin/end), or — since v4 — a *window* boundary fired
+ * mid-pass by the streaming stages when the job set a window size.
+ */
 struct ProgressEvent
 {
     /** Request label the event belongs to. */
@@ -264,6 +279,27 @@ struct ProgressEvent
 
     /** Pass note; meaningful only when `finished`. */
     std::string note;
+
+    // Window-boundary events (v4) ------------------------------------
+
+    /**
+     * True for a mid-pass window boundary: `finished` is false and
+     * the four fields below describe streaming progress inside
+     * `pass`.
+     */
+    bool window = false;
+
+    /** Window index within the current pass, from 0. */
+    std::uint32_t windowIndex = 0;
+
+    /** Input units settled so far (gates / time slots). */
+    std::uint64_t windowSettled = 0;
+
+    /** Total input units, 0 when unknown up front. */
+    std::uint64_t windowTotal = 0;
+
+    /** Live frontier size at the boundary, in stage units. */
+    std::uint64_t frontierLive = 0;
 };
 
 std::vector<std::uint8_t>

@@ -59,6 +59,22 @@ class ProgressStreamObserver : public PassObserver
                          encodeProgressEvent(event));
     }
 
+    void
+    onWindow(const std::string &label, const Pass &pass,
+             const WindowEvent &window) override
+    {
+        ProgressEvent event;
+        event.label = label;
+        event.pass = pass.name();
+        event.window = true;
+        event.windowIndex = window.index;
+        event.windowSettled = window.settled;
+        event.windowTotal = window.total;
+        event.frontierLive = window.frontierLive;
+        (void)writeFrame(fd_, FrameType::Progress,
+                         encodeProgressEvent(event));
+    }
+
   private:
     int fd_;
 };
@@ -539,6 +555,8 @@ ServiceServer::handleCompile(int fd,
         options.cache(cache_);
         if (job.portfolio > 1)
             options.portfolio(static_cast<int>(job.portfolio));
+        if (job.window > 0)
+            options.window(static_cast<int>(job.window));
         std::vector<ExecOptions> backends = job.backends;
         if (job.noise) {
             options.noise(*job.noise);

@@ -41,7 +41,7 @@
 #include <vector>
 
 #include "api/status.hh"
-#include "api/thread_pool.hh"
+#include "common/thread_pool.hh"
 #include "cache/compile_cache.hh"
 #include "service/admission.hh"
 #include "service/metrics.hh"

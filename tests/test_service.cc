@@ -218,10 +218,18 @@ TEST(ServiceServerApi, StreamedProgressCoversEveryPass)
     ASSERT_FALSE(events.empty());
     for (const ProgressEvent &event : events)
         EXPECT_EQ(event.label, "progress");
-    // Begin/end pairs: even count, last one finished.
-    EXPECT_EQ(events.size() % 2, 0u);
-    EXPECT_FALSE(events.front().finished);
-    EXPECT_TRUE(events.back().finished);
+    // Pass-boundary events come in begin/end pairs; window events
+    // (v4) are interleaved mid-pass and never marked finished.
+    std::vector<ProgressEvent> boundaries;
+    for (const ProgressEvent &event : events) {
+        if (event.window)
+            EXPECT_FALSE(event.finished);
+        else
+            boundaries.push_back(event);
+    }
+    EXPECT_EQ(boundaries.size() % 2, 0u);
+    EXPECT_FALSE(boundaries.front().finished);
+    EXPECT_TRUE(boundaries.back().finished);
 }
 
 TEST(ServiceServerApi, ExecutionJobRunsBackendsServerSide)

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "circuit/generators.hh"
+#include "circuit/huge_generators.hh"
 #include "mbqc/dependency.hh"
 #include "mbqc/pattern_builder.hh"
 #include "service/protocol.hh"
@@ -253,6 +254,49 @@ TEST(ServiceJobCodec, RoundTripsCircuitEntryWithBackends)
     EXPECT_EQ(encodeServiceJob(*decoded), bytes);
 }
 
+TEST(ServiceJobCodec, RoundTripsWindowField)
+{
+    ServiceJob job;
+    job.request = CompileRequest::fromCircuit(makeQft(4), "qft-4-w");
+    job.config.numQpus = 2;
+    job.config.grid.size = 7;
+    job.window = 4096;
+
+    const auto bytes = encodeServiceJob(job);
+    auto decoded = decodeServiceJob(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_EQ(decoded->window, 4096u);
+    EXPECT_EQ(encodeServiceJob(*decoded), bytes);
+}
+
+TEST(ServiceJobCodec, CircuitStreamEntryMaterializesOnTheWire)
+{
+    // A stream-entry job crosses the wire as its materialized
+    // circuit: byte-identical to sending the circuit directly.
+    const auto stream = makeDeepQaoaStream(6, 2);
+
+    ServiceJob from_stream;
+    from_stream.request =
+        CompileRequest::fromCircuitStream(stream, "deepqaoa");
+    from_stream.config.numQpus = 2;
+    from_stream.window = 64;
+
+    Circuit materialized = stream->materialize();
+    ServiceJob from_circuit;
+    from_circuit.request =
+        CompileRequest::fromCircuit(materialized, "deepqaoa");
+    from_circuit.config.numQpus = 2;
+    from_circuit.window = 64;
+
+    EXPECT_EQ(encodeServiceJob(from_stream),
+              encodeServiceJob(from_circuit));
+    auto decoded = decodeServiceJob(encodeServiceJob(from_stream));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_EQ(decoded->request->entryPoint(),
+              CompileRequest::EntryPoint::Circuit);
+    EXPECT_EQ(decoded->window, 64u);
+}
+
 TEST(ServiceJobCodec, RoundTripsPatternEntryAndBaseline)
 {
     ServiceJob job;
@@ -388,6 +432,28 @@ TEST(ProgressEventCodec, RoundTrips)
     EXPECT_TRUE(decoded->finished);
     EXPECT_DOUBLE_EQ(decoded->millis, 12.5);
     EXPECT_EQ(decoded->note, "k=2");
+    EXPECT_FALSE(decoded->window);
+}
+
+TEST(ProgressEventCodec, RoundTripsWindowFields)
+{
+    ProgressEvent event;
+    event.label = "graphstate-1000x1000";
+    event.pass = "PatternStream";
+    event.window = true;
+    event.windowIndex = 41;
+    event.windowSettled = 167936;
+    event.windowTotal = 2998000;
+    event.frontierLive = 1000;
+    auto decoded = decodeProgressEvent(encodeProgressEvent(event));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().toString();
+    EXPECT_TRUE(decoded->window);
+    EXPECT_EQ(decoded->windowIndex, 41u);
+    EXPECT_EQ(decoded->windowSettled, 167936u);
+    EXPECT_EQ(decoded->windowTotal, 2998000u);
+    EXPECT_EQ(decoded->frontierLive, 1000u);
+    EXPECT_EQ(encodeProgressEvent(*decoded),
+              encodeProgressEvent(event));
 }
 
 // --- ServiceStats ----------------------------------------------------------

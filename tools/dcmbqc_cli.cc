@@ -35,6 +35,7 @@
 #include "api/api.hh"
 #include "cache/compile_cache.hh"
 #include "circuit/generators.hh"
+#include "circuit/huge_generators.hh"
 #include "common/table.hh"
 #include "noise/config_io.hh"
 #include "photonic/grid.hh"
@@ -56,7 +57,12 @@ usage()
         stderr,
         "usage:\n"
         "  dcmbqc compile (--family qft|qaoa|vqe|rca|clifford "
-        "--qubits N | --in CIRCUIT.dcmbqc)\n"
+        "--qubits N | --in CIRCUIT.dcmbqc\n"
+        "                  | --stream-family graphstate|deepqaoa"
+        "|cliffordt\n"
+        "                    [--rows R --cols C | --qubits N "
+        "[--depth L | --gates G]])\n"
+        "                 [--window N]\n"
         "                 [-o REPORT.dcmbqc] [--qpus N] [--grid L] "
         "[--kmax K]\n"
         "                 [--seed S] [--pl-ratio R] [--resource-state "
@@ -229,7 +235,20 @@ daemonCompile(ServiceClient &client, const ServiceJob &job,
               bool quiet)
 {
     const auto echo = [&](const ProgressEvent &event) {
-        if (quiet || !event.finished)
+        if (quiet)
+            return;
+        if (event.window) {
+            std::printf("  [daemon] %-14s window %u: %llu",
+                        event.pass.c_str(), event.windowIndex,
+                        (unsigned long long)event.windowSettled);
+            if (event.windowTotal > 0)
+                std::printf("/%llu",
+                            (unsigned long long)event.windowTotal);
+            std::printf(" settled, frontier %llu\n",
+                        (unsigned long long)event.frontierLive);
+            return;
+        }
+        if (!event.finished)
             return;
         std::printf("  [daemon] %-14s %8.2f ms  %s\n",
                     event.pass.c_str(), event.millis,
@@ -278,9 +297,10 @@ int
 runCompile(const std::vector<std::string> &args)
 {
     std::string family, circuit_in, out_path, label, cache_dir;
-    std::string save_circuit, noise_path;
+    std::string save_circuit, noise_path, stream_family;
     int qubits = 0, qpus = 4, grid = 0, kmax = 4, pl_ratio = 0;
-    int portfolio = 1;
+    int portfolio = 1, window = 0, rows = 0, cols = 0, depth = 0;
+    std::uint64_t stream_gates = 0;
     std::uint64_t seed = 1;
     ResourceStateType state = ResourceStateType::Star5;
     bool use_bdir = true, baseline = false, quiet = false;
@@ -304,6 +324,20 @@ runCompile(const std::vector<std::string> &args)
             const char *v = next("--in");
             if (!v) return 2;
             circuit_in = v;
+        } else if (arg == "--stream-family") {
+            const char *v = next("--stream-family");
+            if (!v) return 2;
+            stream_family = v;
+        } else if (arg == "--gates") {
+            const char *v = next("--gates");
+            if (!v) return 2;
+            if (!parseU64(v, stream_gates)) {
+                std::fprintf(stderr,
+                             "dcmbqc: --gates expects an unsigned "
+                             "64-bit integer, got '%s'\n",
+                             v);
+                return 2;
+            }
         } else if (arg == "-o" || arg == "--out") {
             const char *v = next("-o");
             if (!v) return 2;
@@ -365,6 +399,10 @@ runCompile(const std::vector<std::string> &args)
             else if (arg == "--kmax") slot = &kmax;
             else if (arg == "--pl-ratio") slot = &pl_ratio;
             else if (arg == "--portfolio") slot = &portfolio;
+            else if (arg == "--window") slot = &window;
+            else if (arg == "--rows") slot = &rows;
+            else if (arg == "--cols") slot = &cols;
+            else if (arg == "--depth") slot = &depth;
             else if (arg == "--deadline-ms")
                 slot = &daemon.deadlineMillis;
             if (!slot) {
@@ -385,15 +423,45 @@ runCompile(const std::vector<std::string> &args)
         }
     }
 
-    if (family.empty() == circuit_in.empty()) {
-        std::fprintf(stderr, "dcmbqc: compile needs exactly one of "
-                             "--family or --in\n");
+    const int sources = (family.empty() ? 0 : 1) +
+        (circuit_in.empty() ? 0 : 1) + (stream_family.empty() ? 0 : 1);
+    if (sources != 1) {
+        std::fprintf(stderr,
+                     "dcmbqc: compile needs exactly one of --family, "
+                     "--in, or --stream-family\n");
         return usage();
     }
 
-    // Obtain the circuit: generator family or serialized artifact.
+    // Obtain the input: generator family (materialized), serialized
+    // artifact, or one of the O(1)-state huge-circuit streams.
     std::optional<Circuit> circuit;
-    if (!family.empty()) {
+    std::shared_ptr<CircuitStream> stream;
+    if (!stream_family.empty()) {
+        if (stream_family == "graphstate") {
+            if (rows < 1 || cols < 1)
+                return fail(Status::invalidArgument(
+                    "--stream-family graphstate needs --rows and "
+                    "--cols (lattice shape)"));
+            stream = makeGraphStateStream(rows, cols);
+        } else if (stream_family == "deepqaoa") {
+            if (qubits < 3 || depth < 1)
+                return fail(Status::invalidArgument(
+                    "--stream-family deepqaoa needs --qubits >= 3 "
+                    "and --depth (QAOA layers)"));
+            stream = makeDeepQaoaStream(qubits, depth, seed);
+        } else if (stream_family == "cliffordt") {
+            if (qubits < 1 || stream_gates == 0)
+                return fail(Status::invalidArgument(
+                    "--stream-family cliffordt needs --qubits and "
+                    "--gates (total gate count)"));
+            stream = makeRandomCliffordTStream(qubits, stream_gates,
+                                               seed);
+        } else {
+            return fail(Status::invalidArgument(
+                "unknown stream family '" + stream_family +
+                "' (expected graphstate, deepqaoa, or cliffordt)"));
+        }
+    } else if (!family.empty()) {
         auto made = makeFamilyCircuit(
             family, qubits, seed);
         if (!made.ok())
@@ -411,7 +479,9 @@ runCompile(const std::vector<std::string> &args)
 
     if (!save_circuit.empty()) {
         const Status saved = saveArtifactFile(
-            save_circuit, encodeCircuitArtifact(*circuit));
+            save_circuit,
+            encodeCircuitArtifact(stream ? stream->materialize()
+                                         : *circuit));
         if (!saved.ok())
             return fail(saved);
         if (!quiet)
@@ -427,11 +497,12 @@ runCompile(const std::vector<std::string> &args)
         noise = std::move(loaded.value());
     }
 
+    const int input_qubits =
+        stream ? stream->numQubits() : circuit->numQubits();
     CompileOptions options;
     options.numQpus(baseline ? 1 : qpus)
         .kmax(kmax)
-        .gridSize(grid > 0 ? grid
-                           : gridSizeForQubits(circuit->numQubits()))
+        .gridSize(grid > 0 ? grid : gridSizeForQubits(input_qubits))
         .resourceState(state)
         .useBdir(use_bdir)
         .seed(seed);
@@ -444,6 +515,11 @@ runCompile(const std::vector<std::string> &args)
                 "--baseline"));
         options.portfolio(portfolio);
     }
+    // Set even when negative: the value is vetted by
+    // CompileOptions::validate, so a bad --window comes back as one
+    // InvalidConfig status instead of a CLI special case.
+    if (window != 0)
+        options.window(window);
     if (noise)
         options.noise(*noise);
     std::shared_ptr<CompileCache> cache;
@@ -462,8 +538,11 @@ runCompile(const std::vector<std::string> &args)
         if (!config.ok())
             return fail(config.status());
         ServiceJob job;
-        job.request = CompileRequest::fromCircuit(
-            *circuit, label.empty() ? circuit->name() : label);
+        job.request = stream
+            ? CompileRequest::fromCircuitStream(
+                  stream, label.empty() ? stream->name() : label)
+            : CompileRequest::fromCircuit(
+                  *circuit, label.empty() ? circuit->name() : label);
         job.config = *config;
         job.baseline = baseline;
         job.deadlineMillis = daemon.deadlineMillis > 0
@@ -474,6 +553,8 @@ runCompile(const std::vector<std::string> &args)
         job.portfolio = portfolio > 1
             ? static_cast<std::uint32_t>(portfolio)
             : 0;
+        job.window = window > 0 ? static_cast<std::uint32_t>(window)
+                                : 0;
 
         ServiceClient client;
         const Status connected =
@@ -518,8 +599,11 @@ runCompile(const std::vector<std::string> &args)
     }
 
     const CompilerDriver driver(options);
-    const auto request = CompileRequest::fromCircuit(
-        *circuit, label.empty() ? circuit->name() : label);
+    const auto request = stream
+        ? CompileRequest::fromCircuitStream(
+              stream, label.empty() ? stream->name() : label)
+        : CompileRequest::fromCircuit(
+              *circuit, label.empty() ? circuit->name() : label);
     auto report = baseline ? driver.compileBaseline(request)
                            : driver.compile(request);
     if (!report.ok())
@@ -540,6 +624,18 @@ runCompile(const std::vector<std::string> &args)
             : report->result().requiredLifetime();
         std::printf("  execution time    %8d cycles\n", exec);
         std::printf("  required lifetime %8d cycles\n", tau);
+        if (report->streaming.windows > 0)
+            std::printf("  streaming         %llu windows, peak "
+                        "%llu frontier nodes / %llu pending edges\n",
+                        (unsigned long long)report->streaming.windows,
+                        (unsigned long long)
+                            report->streaming.frontierNodePeak,
+                        (unsigned long long)
+                            report->streaming.pendingEdgePeak);
+        if (report->peakRssBytes > 0)
+            std::printf("  peak RSS          %8.1f MiB\n",
+                        static_cast<double>(report->peakRssBytes) /
+                            (1024.0 * 1024.0));
         if (report->cacheStats) {
             const CacheStats &s = *report->cacheStats;
             std::printf("  cache             %llu hits / %llu misses "
